@@ -1,0 +1,182 @@
+//! Macro-op groupability characterization over arbitrary traces — the
+//! generalized form of the paper's Section 4 analyses, reusable for any
+//! [`TraceSource`] (kernels, synthetic models, recorded traces).
+
+use mos_isa::{Reg, TraceSource};
+
+/// Aggregate groupability profile of a trace window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateProfile {
+    /// Committed instructions examined.
+    pub total: u64,
+    /// Macro-op candidates (single-cycle operations).
+    pub candidates: u64,
+    /// Value-generating candidates (potential MOP heads).
+    pub valuegen: u64,
+    /// Histogram over head→nearest-tail distances, indexed by distance
+    /// (1-based; index 0 unused). Distances beyond the horizon are
+    /// accumulated in the last bucket.
+    pub distance_histogram: Vec<u64>,
+    /// Heads whose dependents are all multi-cycle.
+    pub no_candidate_tail: u64,
+    /// Heads that die unread.
+    pub dead: u64,
+}
+
+impl CandidateProfile {
+    /// Fraction of heads with a candidate tail within `d` instructions.
+    pub fn within(&self, d: usize) -> f64 {
+        let total = self.valuegen.max(1) as f64;
+        let sum: u64 = self
+            .distance_histogram
+            .iter()
+            .take(d + 1)
+            .sum();
+        sum as f64 / total
+    }
+
+    /// Fraction of committed instructions that are candidates.
+    pub fn candidate_frac(&self) -> f64 {
+        self.candidates as f64 / self.total.max(1) as f64
+    }
+
+    /// Fraction of committed instructions that are value-generating
+    /// candidates (Figure 6's `% total insts`).
+    pub fn valuegen_frac(&self) -> f64 {
+        self.valuegen as f64 / self.total.max(1) as f64
+    }
+}
+
+/// Characterize the first `n` committed instructions of `trace` with a
+/// forward horizon of `horizon` instructions.
+pub fn candidate_profile<T: TraceSource>(mut trace: T, n: usize, horizon: usize) -> CandidateProfile {
+    let program = trace.program().clone();
+    #[derive(Clone, Copy)]
+    struct Head {
+        pos: u64,
+        any_consumer: bool,
+        done: bool,
+    }
+    let mut last_writer: [Option<usize>; Reg::NUM] = [None; Reg::NUM];
+    let mut heads: Vec<Head> = Vec::new();
+    let mut profile = CandidateProfile {
+        total: 0,
+        candidates: 0,
+        valuegen: 0,
+        distance_histogram: vec![0; horizon + 1],
+        no_candidate_tail: 0,
+        dead: 0,
+    };
+    let close = |h: &Head, dist: Option<u64>, profile: &mut CandidateProfile| match dist {
+        Some(d) => {
+            let idx = (d as usize).min(horizon);
+            profile.distance_histogram[idx] += 1;
+        }
+        None if h.any_consumer => profile.no_candidate_tail += 1,
+        None => profile.dead += 1,
+    };
+
+    for (k, d) in trace.by_ref().take(n).enumerate() {
+        let inst = program.inst(d.sidx).expect("trace index valid");
+        profile.total += 1;
+        if inst.is_mop_candidate() {
+            profile.candidates += 1;
+        }
+        for src in inst.src_regs() {
+            if let Some(hidx) = last_writer[src.index()] {
+                let h = &mut heads[hidx];
+                if !h.done {
+                    h.any_consumer = true;
+                    if inst.is_mop_candidate() {
+                        h.done = true;
+                        let dist = k as u64 - h.pos;
+                        let hc = *h;
+                        close(&hc, Some(dist), &mut profile);
+                    }
+                }
+            }
+        }
+        if let Some(dst) = inst.dst() {
+            if let Some(hidx) = last_writer[dst.index()].take() {
+                if !heads[hidx].done {
+                    heads[hidx].done = true;
+                    let hc = heads[hidx];
+                    close(&hc, None, &mut profile);
+                }
+            }
+            if inst.is_value_generating_candidate() {
+                profile.valuegen += 1;
+                last_writer[dst.index()] = Some(heads.len());
+                heads.push(Head {
+                    pos: k as u64,
+                    any_consumer: false,
+                    done: false,
+                });
+            }
+        }
+        // Age out heads past the horizon.
+        if k >= horizon && k.is_multiple_of(horizon) {
+            let cutoff = (k - horizon) as u64;
+            for h in heads.iter_mut().filter(|h| !h.done && h.pos <= cutoff) {
+                h.done = true;
+                let hc = *h;
+                close(&hc, None, &mut profile);
+            }
+        }
+    }
+    for h in heads.iter().filter(|h| !h.done) {
+        close(h, None, &mut profile);
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mos_asm::{assemble, Interpreter};
+
+    fn profile(src: &str) -> CandidateProfile {
+        candidate_profile(Interpreter::new(&assemble(src).expect("valid")), 100_000, 64)
+    }
+
+    #[test]
+    fn adjacent_pair_is_distance_one() {
+        let p = profile("li r1, 5\naddi r2, r1, 1\nhalt");
+        assert_eq!(p.valuegen, 2);
+        assert_eq!(p.distance_histogram[1], 1, "li -> addi at distance 1");
+        assert_eq!(p.dead, 1, "addi's value dies");
+        assert!((p.within(3) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_consumer_is_not_a_tail() {
+        let p = profile("li r1, 0x100\nld r2, 0(r1)\nhalt");
+        assert_eq!(p.no_candidate_tail, 1, "only consumer is a load");
+    }
+
+    #[test]
+    fn overwrite_kills_the_head() {
+        let p = profile("li r1, 1\nli r1, 2\naddi r2, r1, 1\nhalt");
+        assert_eq!(p.dead, 2, "first li dies, addi's value dies");
+        assert_eq!(p.distance_histogram[1], 1, "second li pairs with addi");
+    }
+
+    #[test]
+    fn candidate_fractions_are_sane() {
+        let p = profile("li r1, 0x100\nld r2, 0(r1)\nmul r3, r2, r2\naddi r4, r3, 1\nhalt");
+        assert_eq!(p.total, 4);
+        assert_eq!(p.candidates, 2, "li and addi");
+        assert!((p.candidate_frac() - 0.5).abs() < 1e-9);
+        assert!((p.valuegen_frac() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_balance() {
+        let p = profile(
+            "li r1, 2\nloop: addi r2, r1, 3\nslli r3, r2, 1\naddi r1, r1, -1\nbnez r1, loop\nhalt",
+        );
+        let classified: u64 =
+            p.distance_histogram.iter().sum::<u64>() + p.no_candidate_tail + p.dead;
+        assert_eq!(classified, p.valuegen, "every head classified exactly once");
+    }
+}

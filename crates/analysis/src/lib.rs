@@ -1,0 +1,43 @@
+//! # mos-analysis
+//!
+//! Machine-independent dataflow analysis over dynamic traces — the
+//! analytical companion to the cycle simulator in `mos-sim`:
+//!
+//! * [`Ddg`] — the data dependence graph of a committed-path trace
+//!   window, with per-edge latencies derived from instruction classes;
+//! * [`EdgeCosts`] — the cost model: a configurable *wakeup floor*
+//!   expresses scheduling-loop pipelining analytically (floor 1 = atomic
+//!   scheduling, floor 2 = the paper's 2-cycle loop), so
+//!   `Ddg::critical_path` directly reproduces the reasoning behind the
+//!   paper's Figure 5;
+//! * windowed depth metrics ([`Ddg::mean_window_depth`]) — how deep
+//!   dependence chains look to a 128-entry ROB, the quantity that decides
+//!   whether a workload is scheduling-loop-bound;
+//! * [`candidate_profile`] — the generalized Figure 6 characterization:
+//!   macro-op candidate fractions and head-to-tail distance histograms
+//!   for any trace;
+//! * [`ScheduleModel`] — closed-form lower bounds and a greedy schedule
+//!   estimate for width/window-limited machines, cross-checked against
+//!   the cycle simulator by the test suite (the simulator can never beat
+//!   the analytical bound).
+//!
+//! ```
+//! use mos_analysis::{Ddg, EdgeCosts};
+//! use mos_workload::spec2000;
+//!
+//! let trace = spec2000::by_name("gap").unwrap().trace(42);
+//! let ddg = Ddg::from_trace(trace, 10_000);
+//! let atomic = ddg.critical_path(EdgeCosts::atomic());
+//! let pipelined = ddg.critical_path(EdgeCosts::two_cycle());
+//! assert!(pipelined >= atomic);
+//! ```
+
+#![warn(missing_docs)]
+
+mod ddg;
+mod groupability;
+mod schedule;
+
+pub use ddg::{Ddg, DdgNode, EdgeCosts};
+pub use groupability::{candidate_profile, CandidateProfile};
+pub use schedule::ScheduleModel;

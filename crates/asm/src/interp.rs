@@ -1,0 +1,414 @@
+use std::collections::HashMap;
+
+use mos_isa::{DynInst, Opcode, Program, Reg, TraceSource};
+
+use crate::Image;
+
+/// Architectural state of the functional machine: 32 integer registers,
+/// 32 floating-point registers, and a sparse 8-byte-word memory.
+#[derive(Debug, Clone, Default)]
+pub struct ArchState {
+    int: [i64; Reg::NUM_INT as usize],
+    fp: [f64; Reg::NUM_FP as usize],
+    mem: HashMap<u64, i64>,
+}
+
+impl ArchState {
+    /// Fresh state: all registers zero, memory empty, `sp` pointing at a
+    /// conventional stack top.
+    pub fn new() -> ArchState {
+        let mut s = ArchState::default();
+        s.set_int_reg(Reg::SP, 0x7fff_0000);
+        s
+    }
+
+    /// Read an integer register (the zero register reads as 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is a floating-point register.
+    pub fn int_reg(&self, r: Reg) -> i64 {
+        assert!(r.is_int());
+        if r.is_zero() {
+            0
+        } else {
+            self.int[r.index()]
+        }
+    }
+
+    /// Write an integer register (writes to the zero register are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is a floating-point register.
+    pub fn set_int_reg(&mut self, r: Reg, v: i64) {
+        assert!(r.is_int());
+        if !r.is_zero() {
+            self.int[r.index()] = v;
+        }
+    }
+
+    /// Read a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is an integer register.
+    pub fn fp_reg(&self, r: Reg) -> f64 {
+        assert!(r.is_fp());
+        self.fp[r.index() - Reg::NUM_INT as usize]
+    }
+
+    /// Write a floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is an integer register.
+    pub fn set_fp_reg(&mut self, r: Reg, v: f64) {
+        assert!(r.is_fp());
+        self.fp[r.index() - Reg::NUM_INT as usize] = v;
+    }
+
+    /// Read the 8-byte memory word containing byte address `addr`
+    /// (unwritten memory reads as zero).
+    pub fn load(&self, addr: u64) -> i64 {
+        self.mem.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Write the 8-byte memory word containing byte address `addr`.
+    pub fn store(&mut self, addr: u64, value: i64) {
+        self.mem.insert(addr & !7, value);
+    }
+}
+
+/// Architectural interpreter over an assembled [`Image`].
+///
+/// Yields one [`DynInst`] per executed instruction; iteration ends at
+/// `halt`, on a fall-off-the-end, or on an invalid indirect-jump target
+/// (check [`Interpreter::stopped_cleanly`] to distinguish).
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    program: Program,
+    state: ArchState,
+    pc: u32,
+    halted: bool,
+    faulted: bool,
+}
+
+impl Interpreter {
+    /// Start interpreting `image` at its entry point with `.word`
+    /// directives preloaded.
+    pub fn new(image: &Image) -> Interpreter {
+        let mut state = ArchState::new();
+        for &(addr, value) in &image.data {
+            state.store(addr, value);
+        }
+        Interpreter {
+            program: image.program.clone(),
+            state,
+            pc: image.program.entry(),
+            halted: false,
+            faulted: false,
+        }
+    }
+
+    /// Current architectural state.
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// `true` once a `halt` has been executed (as opposed to a fault or an
+    /// exhausted step budget).
+    pub fn stopped_cleanly(&self) -> bool {
+        self.halted && !self.faulted
+    }
+
+    /// Run up to `max_steps` instructions, returning the trace and final
+    /// architectural state.
+    pub fn run_collect(mut self, max_steps: usize) -> (Vec<DynInst>, ArchState) {
+        let mut trace = Vec::new();
+        for d in self.by_ref().take(max_steps) {
+            trace.push(d);
+        }
+        (trace, self.state)
+    }
+
+    fn step(&mut self) -> Option<DynInst> {
+        if self.halted {
+            return None;
+        }
+        let inst = match self.program.inst(self.pc) {
+            Some(i) => *i,
+            None => {
+                self.halted = true;
+                self.faulted = true;
+                return None;
+            }
+        };
+        let sidx = self.pc;
+        let s = &mut self.state;
+        let mut next = sidx + 1;
+        let mut taken = false;
+        let mut eff_addr = None;
+        let rs = |s: &ArchState, i: usize| inst.raw_srcs()[i].map_or(0, |r| s.int_reg(r));
+        let fs = |s: &ArchState, i: usize| inst.raw_srcs()[i].map_or(0.0, |r| s.fp_reg(r));
+
+        use Opcode::*;
+        match inst.opcode() {
+            Add => s.set_int_reg(inst.dst_raw(), rs(s, 0).wrapping_add(rs(s, 1))),
+            Addi => s.set_int_reg(inst.dst_raw(), rs(s, 0).wrapping_add(inst.imm())),
+            Sub => s.set_int_reg(inst.dst_raw(), rs(s, 0).wrapping_sub(rs(s, 1))),
+            Subi => s.set_int_reg(inst.dst_raw(), rs(s, 0).wrapping_sub(inst.imm())),
+            And => s.set_int_reg(inst.dst_raw(), rs(s, 0) & rs(s, 1)),
+            Andi => s.set_int_reg(inst.dst_raw(), rs(s, 0) & inst.imm()),
+            Or => s.set_int_reg(inst.dst_raw(), rs(s, 0) | rs(s, 1)),
+            Ori => s.set_int_reg(inst.dst_raw(), rs(s, 0) | inst.imm()),
+            Xor => s.set_int_reg(inst.dst_raw(), rs(s, 0) ^ rs(s, 1)),
+            Xori => s.set_int_reg(inst.dst_raw(), rs(s, 0) ^ inst.imm()),
+            Not => s.set_int_reg(inst.dst_raw(), !rs(s, 0)),
+            Sll => s.set_int_reg(inst.dst_raw(), rs(s, 0).wrapping_shl(rs(s, 1) as u32 & 63)),
+            Slli => s.set_int_reg(inst.dst_raw(), rs(s, 0).wrapping_shl(inst.imm() as u32 & 63)),
+            Srl => s.set_int_reg(
+                inst.dst_raw(),
+                ((rs(s, 0) as u64).wrapping_shr(rs(s, 1) as u32 & 63)) as i64,
+            ),
+            Srli => s.set_int_reg(
+                inst.dst_raw(),
+                ((rs(s, 0) as u64).wrapping_shr(inst.imm() as u32 & 63)) as i64,
+            ),
+            Sra => s.set_int_reg(inst.dst_raw(), rs(s, 0).wrapping_shr(rs(s, 1) as u32 & 63)),
+            Slt => s.set_int_reg(inst.dst_raw(), i64::from(rs(s, 0) < rs(s, 1))),
+            Sltu => s.set_int_reg(inst.dst_raw(), i64::from((rs(s, 0) as u64) < (rs(s, 1) as u64))),
+            Slti => s.set_int_reg(inst.dst_raw(), i64::from(rs(s, 0) < inst.imm())),
+            Cmpeq => s.set_int_reg(inst.dst_raw(), i64::from(rs(s, 0) == rs(s, 1))),
+            Li => s.set_int_reg(inst.dst_raw(), inst.imm()),
+            Mov => s.set_int_reg(inst.dst_raw(), rs(s, 0)),
+            Mul => s.set_int_reg(inst.dst_raw(), rs(s, 0).wrapping_mul(rs(s, 1))),
+            Div => {
+                let (a, b) = (rs(s, 0), rs(s, 1));
+                s.set_int_reg(inst.dst_raw(), if b == 0 { 0 } else { a.wrapping_div(b) });
+            }
+            Fadd => s.set_fp_reg(inst.dst_raw(), fs(s, 0) + fs(s, 1)),
+            Fsub => s.set_fp_reg(inst.dst_raw(), fs(s, 0) - fs(s, 1)),
+            Fmul => s.set_fp_reg(inst.dst_raw(), fs(s, 0) * fs(s, 1)),
+            Fdiv => s.set_fp_reg(inst.dst_raw(), fs(s, 0) / fs(s, 1)),
+            Fneg => s.set_fp_reg(inst.dst_raw(), -fs(s, 0)),
+            Itof => s.set_fp_reg(inst.dst_raw(), rs(s, 0) as f64),
+            Ftoi => s.set_int_reg(inst.dst_raw(), fs(s, 0) as i64),
+            Ld => {
+                let addr = rs(s, 0).wrapping_add(inst.imm()) as u64;
+                eff_addr = Some(addr);
+                let v = s.load(addr);
+                s.set_int_reg(inst.dst_raw(), v);
+            }
+            Fld => {
+                let addr = rs(s, 0).wrapping_add(inst.imm()) as u64;
+                eff_addr = Some(addr);
+                let v = f64::from_bits(s.load(addr) as u64);
+                s.set_fp_reg(inst.dst_raw(), v);
+            }
+            St => {
+                let addr = rs(s, 0).wrapping_add(inst.imm()) as u64;
+                eff_addr = Some(addr);
+                let v = rs(s, 1);
+                s.store(addr, v);
+            }
+            Fst => {
+                let addr = rs(s, 0).wrapping_add(inst.imm()) as u64;
+                eff_addr = Some(addr);
+                let v = fs(s, 1).to_bits() as i64;
+                s.store(addr, v);
+            }
+            Beqz | Bnez | Bltz | Bgez => {
+                let v = rs(s, 0);
+                taken = match inst.opcode() {
+                    Beqz => v == 0,
+                    Bnez => v != 0,
+                    Bltz => v < 0,
+                    _ => v >= 0,
+                };
+                if taken {
+                    next = inst.target().expect("validated branch target");
+                }
+            }
+            Jmp => {
+                taken = true;
+                next = inst.target().expect("validated jump target");
+            }
+            Call => {
+                taken = true;
+                s.set_int_reg(Reg::RA, i64::from(sidx + 1));
+                next = inst.target().expect("validated call target");
+            }
+            Jr | Ret => {
+                taken = true;
+                let t = rs(s, 0);
+                if t < 0 || t as usize >= self.program.len() {
+                    self.halted = true;
+                    self.faulted = true;
+                    return None;
+                }
+                next = t as u32;
+            }
+            Nop => {}
+            Halt => {
+                self.halted = true;
+                return None;
+            }
+        }
+        self.pc = next;
+        Some(DynInst {
+            sidx,
+            next_sidx: next,
+            taken,
+            eff_addr,
+        })
+    }
+}
+
+/// Extension used internally: destination including zero-register writes
+/// (the interpreter discards them via [`ArchState::set_int_reg`]).
+trait DstRaw {
+    fn dst_raw(&self) -> Reg;
+}
+
+impl DstRaw for mos_isa::StaticInst {
+    fn dst_raw(&self) -> Reg {
+        self.dst().unwrap_or(Reg::ZERO)
+    }
+}
+
+impl Iterator for Interpreter {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        self.step()
+    }
+}
+
+impl TraceSource for Interpreter {
+    fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    fn run(src: &str) -> (Vec<DynInst>, ArchState) {
+        Interpreter::new(&assemble(src).unwrap()).run_collect(100_000)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let (_, s) = run("li r1, 6\nli r2, 7\nmul r3, r1, r2\nsub r4, r3, r1\nhalt");
+        assert_eq!(s.int_reg(Reg::int(3)), 42);
+        assert_eq!(s.int_reg(Reg::int(4)), 36);
+    }
+
+    #[test]
+    fn loop_sums_correctly() {
+        let (trace, s) = run(r"
+            li r1, 10      ; counter
+            li r2, 0       ; sum
+        loop:
+            add r2, r2, r1
+            addi r1, r1, -1
+            bnez r1, loop
+            halt");
+        assert_eq!(s.int_reg(Reg::int(2)), 55);
+        // 2 setup + 10 iterations * 3
+        assert_eq!(trace.len(), 32);
+        // last branch not taken
+        assert!(!trace.last().unwrap().taken);
+        assert!(trace[4].taken);
+    }
+
+    #[test]
+    fn memory_and_preload() {
+        let (trace, s) = run(".word 0x100, 99\nli r1, 0x100\nld r2, 0(r1)\nst r2, 8(r1)\nld r3, 8(r1)\nhalt");
+        assert_eq!(s.int_reg(Reg::int(3)), 99);
+        assert_eq!(trace[1].eff_addr, Some(0x100));
+        assert_eq!(trace[2].eff_addr, Some(0x108));
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let (trace, s) = run(r"
+            .entry main
+        f:
+            li r5, 123
+            ret
+        main:
+            call f
+            mov r6, r5
+            halt");
+        assert_eq!(s.int_reg(Reg::int(6)), 123);
+        let calls: Vec<_> = trace.iter().filter(|d| d.taken).collect();
+        assert_eq!(calls.len(), 2); // call + ret
+    }
+
+    #[test]
+    fn fp_operations() {
+        let (_, s) = run(r"
+            li r1, 3
+            itof f1, r1
+            fadd f2, f1, f1
+            fmul f3, f2, f1
+            ftoi r2, f3
+            halt");
+        assert_eq!(s.int_reg(Reg::int(2)), 18);
+        assert!((s.fp_reg(Reg::fp(3)) - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fp_memory_round_trip() {
+        let (_, s) = run(r"
+            li r1, 7
+            itof f1, r1
+            li r9, 0x200
+            fst f1, 0(r9)
+            fld f2, 0(r9)
+            ftoi r2, f2
+            halt");
+        assert_eq!(s.int_reg(Reg::int(2)), 7);
+    }
+
+    #[test]
+    fn div_by_zero_yields_zero() {
+        let (_, s) = run("li r1, 5\nli r2, 0\ndiv r3, r1, r2\nhalt");
+        assert_eq!(s.int_reg(Reg::int(3)), 0);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let (_, s) = run("li zero, 7\nadd r1, zero, zero\nhalt");
+        assert_eq!(s.int_reg(Reg::int(1)), 0);
+    }
+
+    #[test]
+    fn bad_indirect_jump_faults() {
+        let img = assemble("li r1, 9999\njr r1\nhalt").unwrap();
+        let mut i = Interpreter::new(&img);
+        let n = i.by_ref().count();
+        assert_eq!(n, 1);
+        assert!(!i.stopped_cleanly());
+    }
+
+    #[test]
+    fn halt_stops_cleanly() {
+        let img = assemble("nop\nhalt").unwrap();
+        let mut i = Interpreter::new(&img);
+        assert_eq!(i.by_ref().count(), 1);
+        assert!(i.stopped_cleanly());
+    }
+
+    #[test]
+    fn next_sidx_chains() {
+        let (trace, _) = run("li r1, 2\nloop: addi r1, r1, -1\nbnez r1, loop\nhalt");
+        for w in trace.windows(2) {
+            assert_eq!(w[0].next_sidx, w[1].sidx);
+        }
+    }
+}

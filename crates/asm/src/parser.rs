@@ -1,0 +1,361 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mos_isa::{Opcode, Program, Reg, StaticInst};
+
+/// An assembled program plus its preloaded data memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    /// The static code.
+    pub program: Program,
+    /// `(byte address, 8-byte word)` pairs preloaded by `.word` directives.
+    pub data: Vec<(u64, i64)>,
+}
+
+/// Error produced by [`assemble`], carrying the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending source line (0 for file-level
+    /// errors such as an undefined entry label).
+    pub line: usize,
+    msg: String,
+}
+
+impl AsmError {
+    fn new(line: usize, msg: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim();
+    match t {
+        "zero" => return Ok(Reg::ZERO),
+        "sp" => return Ok(Reg::SP),
+        "ra" => return Ok(Reg::RA),
+        _ => {}
+    }
+    let (kind, num) = t.split_at(1.min(t.len()));
+    let n: u8 = num
+        .parse()
+        .map_err(|_| AsmError::new(line, format!("expected register, got `{t}`")))?;
+    match kind {
+        "r" if n < Reg::NUM_INT => Ok(Reg::int(n)),
+        "f" if n < Reg::NUM_FP => Ok(Reg::fp(n)),
+        _ => Err(AsmError::new(line, format!("bad register `{t}`"))),
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok.trim();
+    let (neg, t) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let v = if let Some(hex) = t.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = t.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        t.parse()
+    }
+    .map_err(|_| AsmError::new(line, format!("expected immediate, got `{tok}`")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parses `imm(reg)` memory-operand syntax.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), AsmError> {
+    let t = tok.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| AsmError::new(line, format!("expected imm(reg), got `{t}`")))?;
+    if !t.ends_with(')') {
+        return Err(AsmError::new(line, format!("expected imm(reg), got `{t}`")));
+    }
+    let imm = if open == 0 {
+        0
+    } else {
+        parse_imm(&t[..open], line)?
+    };
+    let reg = parse_reg(&t[open + 1..t.len() - 1], line)?;
+    Ok((imm, reg))
+}
+
+enum PendingTarget {
+    None,
+    Label(String),
+}
+
+/// Assemble source text into an [`Image`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] pinpointing the offending line for syntax
+/// errors, unknown mnemonics/registers, undefined labels, or a structurally
+/// invalid result (e.g. empty program).
+pub fn assemble(src: &str) -> Result<Image, AsmError> {
+    let mut program = Program::new("asm");
+    let mut data = Vec::new();
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
+    let mut fixups: Vec<(u32, String, usize)> = Vec::new();
+    let mut entry_label: Option<(String, usize)> = None;
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let mut line = raw;
+        if let Some(i) = line.find([';', '#']) {
+            line = &line[..i];
+        }
+        let mut line = line.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = line.find(':') {
+            let (label, rest) = line.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            let idx = program.len() as u32;
+            labels.insert(label.to_owned(), idx);
+            program.set_label(label, idx);
+            line = rest[1..].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".entry") {
+            entry_label = Some((rest.trim().to_owned(), lineno));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".word") {
+            let parts: Vec<&str> = rest.split(',').collect();
+            if parts.len() != 2 {
+                return Err(AsmError::new(lineno, ".word takes `addr, value`"));
+            }
+            let addr = parse_imm(parts[0], lineno)? as u64;
+            let value = parse_imm(parts[1], lineno)?;
+            data.push((addr, value));
+            continue;
+        }
+
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(i) => (&line[..i], line[i..].trim()),
+            None => (line, ""),
+        };
+        let op: Opcode = mnemonic
+            .parse()
+            .map_err(|e| AsmError::new(lineno, format!("{e}")))?;
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let expect =
+            |n: usize| -> Result<(), AsmError> {
+                if ops.len() == n {
+                    Ok(())
+                } else {
+                    Err(AsmError::new(
+                        lineno,
+                        format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+                    ))
+                }
+            };
+
+        use Opcode::*;
+        let mut pending = PendingTarget::None;
+        let inst = match op {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Cmpeq | Mul | Div => {
+                expect(3)?;
+                StaticInst::alu(
+                    op,
+                    parse_reg(ops[0], lineno)?,
+                    parse_reg(ops[1], lineno)?,
+                    parse_reg(ops[2], lineno)?,
+                )
+            }
+            Fadd | Fsub | Fmul | Fdiv => {
+                expect(3)?;
+                StaticInst::alu(
+                    op,
+                    parse_reg(ops[0], lineno)?,
+                    parse_reg(ops[1], lineno)?,
+                    parse_reg(ops[2], lineno)?,
+                )
+            }
+            Addi | Subi | Andi | Ori | Xori | Slli | Srli | Slti => {
+                expect(3)?;
+                StaticInst::alui(
+                    op,
+                    parse_reg(ops[0], lineno)?,
+                    parse_reg(ops[1], lineno)?,
+                    parse_imm(ops[2], lineno)?,
+                )
+            }
+            Li => {
+                expect(2)?;
+                StaticInst::li(parse_reg(ops[0], lineno)?, parse_imm(ops[1], lineno)?)
+            }
+            Mov | Not | Fneg | Itof | Ftoi => {
+                expect(2)?;
+                StaticInst::new(
+                    op,
+                    Some(parse_reg(ops[0], lineno)?),
+                    [Some(parse_reg(ops[1], lineno)?), None],
+                    0,
+                    None,
+                )
+            }
+            Ld | Fld => {
+                expect(2)?;
+                let (imm, base) = parse_mem(ops[1], lineno)?;
+                StaticInst::load(parse_reg(ops[0], lineno)?, imm, base)
+            }
+            St | Fst => {
+                expect(2)?;
+                let (imm, base) = parse_mem(ops[1], lineno)?;
+                StaticInst::store(parse_reg(ops[0], lineno)?, imm, base)
+            }
+            Beqz | Bnez | Bltz | Bgez => {
+                expect(2)?;
+                pending = PendingTarget::Label(ops[1].to_owned());
+                StaticInst::branch(op, parse_reg(ops[0], lineno)?, 0)
+            }
+            Jmp => {
+                expect(1)?;
+                pending = PendingTarget::Label(ops[0].to_owned());
+                StaticInst::jmp(0)
+            }
+            Call => {
+                expect(1)?;
+                pending = PendingTarget::Label(ops[0].to_owned());
+                StaticInst::call(0)
+            }
+            Jr => {
+                expect(1)?;
+                StaticInst::jr(parse_reg(ops[0], lineno)?)
+            }
+            Ret => {
+                expect(0)?;
+                StaticInst::ret()
+            }
+            Nop => {
+                expect(0)?;
+                StaticInst::nop()
+            }
+            Halt => {
+                expect(0)?;
+                StaticInst::halt()
+            }
+        };
+        let idx = program.push(inst);
+        if let PendingTarget::Label(l) = pending {
+            fixups.push((idx, l, lineno));
+        }
+    }
+
+    for (idx, label, lineno) in fixups {
+        let target = *labels
+            .get(&label)
+            .ok_or_else(|| AsmError::new(lineno, format!("undefined label `{label}`")))?;
+        let patched = program.inst(idx).expect("fixup index valid").with_target(target);
+        *program.inst_mut(idx).expect("fixup index valid") = patched;
+    }
+    if let Some((label, lineno)) = entry_label {
+        let e = *labels
+            .get(&label)
+            .ok_or_else(|| AsmError::new(lineno, format!("undefined entry label `{label}`")))?;
+        program.set_entry(e);
+    }
+    program
+        .validate()
+        .map_err(|e| AsmError::new(0, e.to_string()))?;
+    Ok(Image { program, data })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mos_isa::InstClass;
+
+    #[test]
+    fn assembles_all_shapes() {
+        let src = r"
+            .entry main
+            .word 0x1000, 7
+        main:
+            li   r1, 0x10
+            addi r2, r1, -3
+            add  r3, r1, r2
+            mul  r4, r3, r3
+            ld   r5, 8(sp)
+            st   r5, 0(r1)
+            fld  f1, 0(r1)
+            fadd f2, f1, f1
+            beqz r5, done
+            call sub
+            jr   r3
+        sub:
+            ret
+        done:
+            halt
+        ";
+        let img = assemble(src).unwrap();
+        assert_eq!(img.program.entry(), img.program.label("main").unwrap());
+        assert_eq!(img.data, vec![(0x1000, 7)]);
+        assert_eq!(img.program.len(), 13);
+        let beqz = img.program.inst(img.program.label("main").unwrap() + 8).unwrap();
+        assert_eq!(beqz.target(), Some(img.program.label("done").unwrap()));
+    }
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let img = assemble("top: j bottom\nbottom: j top\nhalt").unwrap();
+        assert_eq!(img.program.inst(0).unwrap().target(), Some(1));
+        assert_eq!(img.program.inst(1).unwrap().target(), Some(0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("bogus"));
+
+        let err = assemble("add r1, r2\nhalt").unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = assemble("beqz r1, nowhere\nhalt").unwrap_err();
+        assert!(err.to_string().contains("nowhere"));
+    }
+
+    #[test]
+    fn register_aliases() {
+        let img = assemble("mov sp, zero\nmov ra, sp\nhalt").unwrap();
+        assert_eq!(img.program.inst(0).unwrap().dst(), Some(Reg::SP));
+        assert_eq!(img.program.inst(1).unwrap().dst(), Some(Reg::RA));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let img = assemble("; leading\n\n  nop ; trailing\n# hash comment\nhalt").unwrap();
+        assert_eq!(img.program.len(), 2);
+        assert_eq!(img.program.inst(0).unwrap().class(), InstClass::Nop);
+    }
+
+    #[test]
+    fn negative_and_hex_immediates() {
+        let img = assemble("li r1, -0x10\nli r2, 42\nhalt").unwrap();
+        assert_eq!(img.program.inst(0).unwrap().imm(), -16);
+        assert_eq!(img.program.inst(1).unwrap().imm(), 42);
+    }
+}

@@ -1,0 +1,170 @@
+//! Exhaustive semantics tests: one assertion per opcode family, covering
+//! sign handling, wrapping, shift masking and conversion truncation. The
+//! interpreter is the golden reference for the whole workspace, so its
+//! semantics deserve line-item coverage.
+
+use mos_asm::{assemble, Interpreter};
+use mos_isa::Reg;
+
+fn run_expect(src: &str, reg: u8, expect: i64) {
+    let img = assemble(src).unwrap_or_else(|e| panic!("assemble failed: {e}\n{src}"));
+    let (_, state) = Interpreter::new(&img).run_collect(100_000);
+    assert_eq!(
+        state.int_reg(Reg::int(reg)),
+        expect,
+        "r{reg} mismatch for:\n{src}"
+    );
+}
+
+#[test]
+fn add_sub_wrap() {
+    run_expect("li r1, 20\nli r2, 22\nadd r3, r1, r2\nhalt", 3, 42);
+    run_expect("li r1, 5\nli r2, 9\nsub r3, r1, r2\nhalt", 3, -4);
+    // Wrapping at i64 boundaries must not panic.
+    run_expect(
+        "li r1, 0x7fffffffffffffff\nli r2, 1\nadd r3, r1, r2\nhalt",
+        3,
+        i64::MIN,
+    );
+}
+
+#[test]
+fn addi_subi() {
+    run_expect("li r1, 10\naddi r2, r1, -3\nhalt", 2, 7);
+    run_expect("li r1, 10\nsubi r2, r1, 3\nhalt", 2, 7);
+}
+
+#[test]
+fn bitwise_ops() {
+    run_expect("li r1, 0b1100\nli r2, 0b1010\nand r3, r1, r2\nhalt", 3, 0b1000);
+    run_expect("li r1, 0b1100\nli r2, 0b1010\nor r3, r1, r2\nhalt", 3, 0b1110);
+    run_expect("li r1, 0b1100\nli r2, 0b1010\nxor r3, r1, r2\nhalt", 3, 0b0110);
+    run_expect("li r1, 0\nnot r2, r1\nhalt", 2, -1);
+    run_expect("li r1, 0xff\nandi r2, r1, 0x0f\nhalt", 2, 0x0f);
+    run_expect("li r1, 0xf0\nori r2, r1, 0x0f\nhalt", 2, 0xff);
+    run_expect("li r1, 0xff\nxori r2, r1, 0x0f\nhalt", 2, 0xf0);
+}
+
+#[test]
+fn shifts_mask_their_amount() {
+    run_expect("li r1, 1\nslli r2, r1, 4\nhalt", 2, 16);
+    run_expect("li r1, 16\nsrli r2, r1, 4\nhalt", 2, 1);
+    run_expect("li r1, 1\nli r2, 68\nsll r3, r1, r2\nhalt", 3, 16, );
+    // srl is a logical shift: sign bit does not smear.
+    run_expect("li r1, -8\nli r2, 1\nsrl r3, r1, r2\nhalt", 3, ((-8i64) as u64 >> 1) as i64);
+    // sra is arithmetic: sign preserved.
+    run_expect("li r1, -8\nli r2, 1\nsra r3, r1, r2\nhalt", 3, -4);
+}
+
+#[test]
+fn comparisons_signed_and_unsigned() {
+    run_expect("li r1, -1\nli r2, 1\nslt r3, r1, r2\nhalt", 3, 1);
+    // Unsigned: -1 is the largest value.
+    run_expect("li r1, -1\nli r2, 1\nsltu r3, r1, r2\nhalt", 3, 0);
+    run_expect("li r1, 5\nslti r2, r1, 6\nhalt", 2, 1);
+    run_expect("li r1, 7\nli r2, 7\ncmpeq r3, r1, r2\nhalt", 3, 1);
+    run_expect("li r1, 7\nli r2, 8\ncmpeq r3, r1, r2\nhalt", 3, 0);
+}
+
+#[test]
+fn mul_div_semantics() {
+    run_expect("li r1, -6\nli r2, 7\nmul r3, r1, r2\nhalt", 3, -42);
+    run_expect("li r1, 42\nli r2, -7\ndiv r3, r1, r2\nhalt", 3, -6);
+    run_expect("li r1, 7\nli r2, 2\ndiv r3, r1, r2\nhalt", 3, 3);
+    run_expect("li r1, 1\nli r2, 0\ndiv r3, r1, r2\nhalt", 3, 0, );
+    // i64::MIN / -1 would overflow; wrapping_div keeps it defined.
+    run_expect(
+        "li r1, 0x7fffffffffffffff\nli r2, 1\nadd r1, r1, r2\nli r2, -1\ndiv r3, r1, r2\nhalt",
+        3,
+        i64::MIN,
+    );
+}
+
+#[test]
+fn mov_li() {
+    run_expect("li r1, 99\nmov r2, r1\nhalt", 2, 99);
+    run_expect("li r1, -0x10\nhalt", 1, -16);
+}
+
+#[test]
+fn branch_directions() {
+    run_expect("li r1, 0\nli r3, 1\nbeqz r1, t\nli r3, 2\nt: halt", 3, 1);
+    run_expect("li r1, 5\nli r3, 1\nbeqz r1, t\nli r3, 2\nt: halt", 3, 2);
+    run_expect("li r1, 5\nli r3, 1\nbnez r1, t\nli r3, 2\nt: halt", 3, 1);
+    run_expect("li r1, -1\nli r3, 1\nbltz r1, t\nli r3, 2\nt: halt", 3, 1);
+    run_expect("li r1, 0\nli r3, 1\nbltz r1, t\nli r3, 2\nt: halt", 3, 2);
+    run_expect("li r1, 0\nli r3, 1\nbgez r1, t\nli r3, 2\nt: halt", 3, 1);
+    run_expect("li r1, -1\nli r3, 1\nbgez r1, t\nli r3, 2\nt: halt", 3, 2);
+}
+
+#[test]
+fn jumps_and_indirect() {
+    run_expect("j skip\nli r1, 1\nskip: li r2, 2\nhalt", 2, 2);
+    // jr through a register holding a static index.
+    run_expect("li r1, 4\njr r1\nli r2, 1\nhalt\nli r2, 9\nj done\ndone: halt", 2, 9);
+}
+
+#[test]
+fn memory_word_addressing() {
+    // Sub-word addresses alias the containing 8-byte word.
+    run_expect(
+        "li r1, 0x100\nli r2, 7\nst r2, 0(r1)\nld r3, 4(r1)\nhalt",
+        3,
+        7,
+    );
+    // Different words do not alias.
+    run_expect(
+        "li r1, 0x100\nli r2, 7\nst r2, 0(r1)\nld r3, 8(r1)\nhalt",
+        3,
+        0,
+    );
+    // Negative displacement.
+    run_expect(
+        "li r1, 0x108\nli r2, 5\nst r2, -8(r1)\nli r4, 0x100\nld r3, 0(r4)\nhalt",
+        3,
+        5,
+    );
+}
+
+#[test]
+fn fp_family() {
+    let src = |body: &str| format!("li r1, 9\nli r2, 2\nitof f1, r1\nitof f2, r2\n{body}\nftoi r3, f3\nhalt");
+    run_expect(&src("fadd f3, f1, f2"), 3, 11);
+    run_expect(&src("fsub f3, f1, f2"), 3, 7);
+    run_expect(&src("fmul f3, f1, f2"), 3, 18);
+    run_expect(&src("fdiv f3, f1, f2"), 3, 4); // 4.5 truncates toward zero
+    run_expect("li r1, 3\nitof f1, r1\nfneg f2, f1\nftoi r3, f2\nhalt", 3, -3);
+}
+
+#[test]
+fn call_ret_nesting() {
+    run_expect(
+        r"
+        .entry main
+    inner:
+        addi r5, r5, 100
+        ret
+    outer:
+        mov r7, ra          ; calls clobber ra: callee-save it
+        addi r5, r5, 10
+        call inner
+        addi r5, r5, 1
+        mov ra, r7
+        ret
+    main:
+        li r5, 0
+        call outer
+        mov r6, r5
+        halt",
+        6,
+        111,
+    );
+}
+
+#[test]
+fn zero_register_semantics_everywhere() {
+    run_expect("li zero, 42\nadd r1, zero, zero\nhalt", 1, 0);
+    run_expect("li r1, 5\nadd r2, r1, zero\nhalt", 2, 5);
+    // Store using zero as data writes 0.
+    run_expect("li r1, 0x200\nli r3, 9\nst r3, 0(r1)\nst zero, 0(r1)\nld r2, 0(r1)\nhalt", 2, 0);
+}

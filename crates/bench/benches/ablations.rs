@@ -1,0 +1,67 @@
+//! Ablation benches for the design choices DESIGN.md calls out: each
+//! group prints the ablation's result rows, then measures one arm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mos_bench::{BENCH_INSTS, TIMING_BENCH};
+use mos_core::{CycleDetection, WakeupStyle};
+use mos_experiments::{ablations, runner};
+use mos_sim::MachineConfig;
+
+fn mop_cfg() -> MachineConfig {
+    MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1)
+}
+
+fn bench_detection_delay(c: &mut Criterion) {
+    println!("\n{}", ablations::detection_delay(BENCH_INSTS));
+    c.bench_function("ablation_detection_delay", |b| {
+        let mut cfg = mop_cfg();
+        cfg.sched.mop.detection_delay = 100;
+        b.iter(|| black_box(runner::run_benchmark(TIMING_BENCH, cfg.clone(), BENCH_INSTS)))
+    });
+}
+
+fn bench_cycle_heuristic(c: &mut Criterion) {
+    println!("\n{}", ablations::cycle_heuristic(BENCH_INSTS));
+    c.bench_function("ablation_cycle_heuristic", |b| {
+        let mut cfg = mop_cfg();
+        cfg.sched.mop.cycle_detection = CycleDetection::Precise;
+        b.iter(|| black_box(runner::run_benchmark(TIMING_BENCH, cfg.clone(), BENCH_INSTS)))
+    });
+}
+
+fn bench_last_arrival(c: &mut Criterion) {
+    println!("\n{}", ablations::last_arrival_filter(BENCH_INSTS));
+    c.bench_function("ablation_last_arriving", |b| {
+        let mut cfg = mop_cfg();
+        cfg.sched.mop.last_arrival_filter = false;
+        b.iter(|| black_box(runner::run_benchmark(TIMING_BENCH, cfg.clone(), BENCH_INSTS)))
+    });
+}
+
+fn bench_independent_mops(c: &mut Criterion) {
+    println!("\n{}", ablations::independent_mops(BENCH_INSTS));
+    c.bench_function("ablation_independent_mops", |b| {
+        let mut cfg = mop_cfg();
+        cfg.sched.mop.group_independent = false;
+        b.iter(|| black_box(runner::run_benchmark(TIMING_BENCH, cfg.clone(), BENCH_INSTS)))
+    });
+}
+
+fn bench_mop_size(c: &mut Criterion) {
+    println!("\n{}", ablations::mop_size(BENCH_INSTS));
+    c.bench_function("ablation_mop_size", |b| {
+        let mut cfg = mop_cfg();
+        cfg.sched.mop.max_mop_size = 4;
+        b.iter(|| black_box(runner::run_benchmark(TIMING_BENCH, cfg.clone(), BENCH_INSTS)))
+    });
+}
+
+criterion_group! {
+    name = ablation_benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_detection_delay, bench_cycle_heuristic, bench_last_arrival,
+              bench_independent_mops, bench_mop_size
+}
+criterion_main!(ablation_benches);

@@ -1,0 +1,100 @@
+//! One bench target per table/figure of the paper's evaluation. Each
+//! group first regenerates and prints the figure's rows (at the bench
+//! instruction budget), then measures the cost of one representative
+//! simulation so regressions in simulator throughput are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mos_bench::{BENCH_INSTS, TIMING_BENCH};
+use mos_core::WakeupStyle;
+use mos_experiments::{fig13, fig14, fig15, fig16, fig6, fig7, runner, tables};
+use mos_sim::MachineConfig;
+
+fn bench_table2(c: &mut Criterion) {
+    println!("\n{}", tables::table1());
+    println!("{}", tables::table2(BENCH_INSTS));
+    c.bench_function("table2_base_ipc", |b| {
+        b.iter(|| {
+            black_box(runner::run_benchmark(
+                TIMING_BENCH,
+                MachineConfig::base_32(),
+                BENCH_INSTS,
+            ))
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    println!("\n{}", fig6::run(BENCH_INSTS as usize));
+    c.bench_function("fig6_dependence_distance", |b| {
+        b.iter(|| black_box(fig6::analyze_one(TIMING_BENCH, BENCH_INSTS as usize)))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    println!("\n{}", fig7::run(BENCH_INSTS as usize));
+    c.bench_function("fig7_mop_size", |b| {
+        b.iter(|| black_box(fig7::analyze_one(TIMING_BENCH, BENCH_INSTS as usize)))
+    });
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    println!("\n{}", fig13::run(BENCH_INSTS));
+    c.bench_function("fig13_grouped", |b| {
+        b.iter(|| {
+            black_box(runner::run_benchmark(
+                TIMING_BENCH,
+                MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1),
+                BENCH_INSTS,
+            ))
+        })
+    });
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    println!("\n{}", fig14::run(BENCH_INSTS));
+    c.bench_function("fig14_vanilla", |b| {
+        b.iter(|| {
+            black_box(runner::run_benchmark(
+                TIMING_BENCH,
+                MachineConfig::macro_op(WakeupStyle::WiredOr, None, 0),
+                BENCH_INSTS,
+            ))
+        })
+    });
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    println!("\n{}", fig15::run(BENCH_INSTS));
+    c.bench_function("fig15_contention", |b| {
+        b.iter(|| {
+            black_box(runner::run_benchmark(
+                TIMING_BENCH,
+                MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 2),
+                BENCH_INSTS,
+            ))
+        })
+    });
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    println!("\n{}", fig16::run(BENCH_INSTS));
+    c.bench_function("fig16_selectfree", |b| {
+        b.iter(|| {
+            black_box(runner::run_benchmark(
+                TIMING_BENCH,
+                MachineConfig::select_free_scoreboard_32(),
+                BENCH_INSTS,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table2, bench_fig6, bench_fig7, bench_fig13, bench_fig14,
+              bench_fig15, bench_fig16
+}
+criterion_main!(figures);

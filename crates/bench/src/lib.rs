@@ -1,0 +1,23 @@
+//! # mos-bench
+//!
+//! Criterion benchmark harness. Each bench target regenerates one of the
+//! paper's tables/figures at a reduced instruction budget and *prints the
+//! same rows the paper reports* alongside the timing measurement:
+//!
+//! * `benches/figures.rs` — `table2`, `fig6`, `fig7`, `fig13`, `fig14`,
+//!   `fig15`, `fig16`;
+//! * `benches/ablations.rs` — detection delay, cycle heuristic,
+//!   last-arriving-operand filter, independent MOPs, MOP size;
+//! * `benches/components.rs` — microbenchmarks of the substrates
+//!   (detector step, issue-queue cycle, full-pipeline throughput).
+//!
+//! Run with `cargo bench --workspace`; single figures via
+//! `cargo bench -p mos-bench --bench figures -- fig14`.
+
+/// Committed-instruction budget per simulated configuration inside the
+/// benches (kept small so a full `cargo bench` stays tractable).
+pub const BENCH_INSTS: u64 = 20_000;
+
+/// The benchmark subset used for per-figure timing measurements (the
+/// printed tables still cover all twelve).
+pub const TIMING_BENCH: &str = "gzip";

@@ -1,0 +1,39 @@
+//! # mos-core
+//!
+//! The paper's primary contribution — **macro-op (MOP) scheduling** — plus
+//! every scheduling-logic baseline it is evaluated against:
+//!
+//! * [`detect`] — the MOP detection logic of Section 5.1: a triangular
+//!   dependence matrix over an 8-instruction scope, the conservative
+//!   cycle-detection heuristic (with a precise alternative for ablation),
+//!   the 2-source constraint of CAM-style wakeup, priority-decoder conflict
+//!   resolution, and independent-MOP pairing;
+//! * [`mod@pointer`] — 4-bit MOP pointers (control bit + 3-bit offset) stored
+//!   alongside instruction-cache lines, with eviction-coupled invalidation,
+//!   a configurable detection delay, and the last-arriving-operand filter's
+//!   pointer deletion + pair blacklist (Section 5.4.2);
+//! * [`form`] — MOP formation at rename (Section 5.2): control-flow
+//!   validation of pointers, the MOP-ID translation table (a second rename
+//!   map in which head and tail share an ID), and the same/consecutive-
+//!   insert-group pairing policy with pending bits (Section 5.2.3);
+//! * [`queue`] — the cycle-level wakeup/select engine implementing every
+//!   scheduler of Section 6.2: `Base` (ideally pipelined atomic),
+//!   `TwoCycle`, `MacroOp` (2-cycle pipelined scheduling of 2-cycle MOPs),
+//!   and the two select-free baselines of Brown et al. (`squash-dep` and
+//!   `scoreboard`), plus speculative load scheduling with selective replay
+//!   and branch-squash handling of half-squashed MOPs (Section 5.3.2).
+//!
+//! The timing simulator in `mos-sim` drives these components; they are
+//! fully usable (and unit-tested) standalone.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod detect;
+pub mod form;
+pub mod pointer;
+pub mod queue;
+mod uop;
+
+pub use config::{CycleDetection, MopConfig, SchedConfig, SchedulerKind, WakeupStyle};
+pub use uop::{GroupRole, SchedUop, Tag, UopId};

@@ -1,0 +1,183 @@
+//! Property-based tests of the MOP detection matrix: structural
+//! invariants that must hold for arbitrary instruction streams.
+
+use proptest::prelude::*;
+
+use mos_core::detect::{DetectInst, MopDetector};
+use mos_core::{CycleDetection, MopConfig};
+use mos_isa::{Opcode, Reg, StaticInst};
+
+#[derive(Debug, Clone)]
+enum K {
+    Alu1 { dst: u8, a: u8 },
+    Alu2 { dst: u8, a: u8, b: u8 },
+    Load { dst: u8, a: u8 },
+    Store { v: u8, a: u8 },
+    Branch { c: u8, taken: bool },
+    Mul { dst: u8, a: u8, b: u8 },
+}
+
+fn kinds() -> impl Strategy<Value = K> {
+    let r = 1u8..12;
+    prop_oneof![
+        (r.clone(), r.clone()).prop_map(|(dst, a)| K::Alu1 { dst, a }),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(dst, a, b)| K::Alu2 { dst, a, b }),
+        (r.clone(), r.clone()).prop_map(|(dst, a)| K::Load { dst, a }),
+        (r.clone(), r.clone()).prop_map(|(v, a)| K::Store { v, a }),
+        (r.clone(), any::<bool>()).prop_map(|(c, taken)| K::Branch { c, taken }),
+        (r.clone(), r.clone(), r).prop_map(|(dst, a, b)| K::Mul { dst, a, b }),
+    ]
+}
+
+fn to_inst(sidx: u32, k: &K) -> DetectInst {
+    let (inst, taken) = match *k {
+        K::Alu1 { dst, a } => (StaticInst::addi(Reg::int(dst), Reg::int(a), 1), false),
+        K::Alu2 { dst, a, b } => (
+            StaticInst::alu(Opcode::Add, Reg::int(dst), Reg::int(a), Reg::int(b)),
+            false,
+        ),
+        K::Load { dst, a } => (StaticInst::load(Reg::int(dst), 0, Reg::int(a)), false),
+        K::Store { v, a } => (StaticInst::store(Reg::int(v), 0, Reg::int(a)), false),
+        K::Branch { c, taken } => (StaticInst::branch(Opcode::Bnez, Reg::int(c), 0), taken),
+        K::Mul { dst, a, b } => (
+            StaticInst::alu(Opcode::Mul, Reg::int(dst), Reg::int(a), Reg::int(b)),
+            false,
+        ),
+    };
+    DetectInst::from_static(sidx, &inst, taken, 0x40 + u64::from(sidx / 16) * 64)
+}
+
+fn run_detector(
+    stream: &[K],
+    cycle: CycleDetection,
+    max_srcs: Option<usize>,
+) -> Vec<mos_core::detect::DetectedPair> {
+    let cfg = MopConfig {
+        cycle_detection: cycle,
+        ..MopConfig::default()
+    };
+    let mut det = MopDetector::new(cfg, max_srcs, 4);
+    let mut out = Vec::new();
+    for (g, chunk) in stream.chunks(4).enumerate() {
+        let group: Vec<DetectInst> = chunk
+            .iter()
+            .enumerate()
+            .map(|(i, k)| to_inst((g * 4 + i) as u32, k))
+            .collect();
+        out.extend(det.step(&group, |_| false, |_, _| false));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every emitted pointer is structurally legal: offset 1..=7,
+    /// head != tail, tail = head + offset (our streams are sequential).
+    #[test]
+    fn pointers_are_structurally_legal(stream in prop::collection::vec(kinds(), 4..64)) {
+        for p in run_detector(&stream, CycleDetection::Heuristic, None) {
+            prop_assert!((1..=7).contains(&p.pointer.offset));
+            prop_assert_eq!(
+                p.pointer.tail_sidx,
+                p.head_sidx + u32::from(p.pointer.offset),
+                "sequential stream: tail must sit offset after head"
+            );
+            prop_assert_eq!(p.independent, p.pointer.independent);
+        }
+    }
+
+    /// No instruction appears in two pairs (one pointer per instruction;
+    /// heads and tails are disjoint across a run).
+    #[test]
+    fn membership_is_exclusive(stream in prop::collection::vec(kinds(), 4..64)) {
+        let pairs = run_detector(&stream, CycleDetection::Heuristic, None);
+        let mut used = std::collections::HashSet::new();
+        for p in &pairs {
+            prop_assert!(used.insert(p.head_sidx), "head {} reused", p.head_sidx);
+            prop_assert!(used.insert(p.pointer.tail_sidx), "tail {} reused", p.pointer.tail_sidx);
+        }
+    }
+
+    /// Dependent heads are value-generating candidates and tails are
+    /// candidates; a taken branch between them sets the control bit.
+    #[test]
+    fn dependent_pair_roles(stream in prop::collection::vec(kinds(), 4..64)) {
+        let pairs = run_detector(&stream, CycleDetection::Heuristic, None);
+        for p in pairs.iter().filter(|p| !p.independent) {
+            let head = &stream[p.head_sidx as usize];
+            prop_assert!(
+                matches!(head, K::Alu1 { .. } | K::Alu2 { .. }),
+                "dependent head must be a value-generating candidate: {head:?}"
+            );
+            let tail = &stream[p.pointer.tail_sidx as usize];
+            prop_assert!(
+                !matches!(tail, K::Load { .. } | K::Mul { .. }),
+                "tail must be a single-cycle candidate: {tail:?}"
+            );
+            let taken_between = stream
+                [p.head_sidx as usize..p.pointer.tail_sidx as usize]
+                .iter()
+                .filter(|k| matches!(k, K::Branch { taken: true, .. }))
+                .count();
+            prop_assert_eq!(taken_between == 1, p.pointer.control);
+            prop_assert!(taken_between <= 1, "pointer across two taken branches");
+        }
+    }
+
+    /// The CAM 2-source limit is respected: the merged source set of a
+    /// dependent pair never exceeds two registers.
+    #[test]
+    fn cam_limit_is_enforced(stream in prop::collection::vec(kinds(), 4..64)) {
+        let pairs = run_detector(&stream, CycleDetection::Heuristic, Some(2));
+        for p in pairs.iter().filter(|p| !p.independent) {
+            let srcs_of = |k: &K| -> Vec<u8> {
+                match *k {
+                    K::Alu1 { a, .. } | K::Load { dst: _, a } => vec![a],
+                    K::Alu2 { a, b, .. } | K::Mul { a, b, .. } => vec![a, b],
+                    K::Store { v, a } => vec![a, v],
+                    K::Branch { c, .. } => vec![c],
+                }
+            };
+            let head = &stream[p.head_sidx as usize];
+            let head_dst = match *head {
+                K::Alu1 { dst, .. } | K::Alu2 { dst, .. } => dst,
+                _ => unreachable!("dependent heads are ALU"),
+            };
+            let mut union: Vec<u8> = srcs_of(head);
+            for s in srcs_of(&stream[p.pointer.tail_sidx as usize]) {
+                if s != head_dst && !union.contains(&s) {
+                    union.push(s);
+                }
+            }
+            prop_assert!(union.len() <= 2, "union {union:?} exceeds 2 sources");
+        }
+    }
+
+    /// Precise cycle detection finds at least as many dependent pairs as
+    /// the conservative heuristic (it only removes false positives).
+    #[test]
+    fn precise_dominates_heuristic(stream in prop::collection::vec(kinds(), 8..64)) {
+        let h = run_detector(&stream, CycleDetection::Heuristic, None)
+            .iter()
+            .filter(|p| !p.independent)
+            .count();
+        let p = run_detector(&stream, CycleDetection::Precise, None)
+            .iter()
+            .filter(|p| !p.independent)
+            .count();
+        prop_assert!(p >= h, "precise {p} < heuristic {h}");
+    }
+
+    /// Detection is deterministic.
+    #[test]
+    fn detection_is_deterministic(stream in prop::collection::vec(kinds(), 4..48)) {
+        let a = run_detector(&stream, CycleDetection::Heuristic, None);
+        let b = run_detector(&stream, CycleDetection::Heuristic, None);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.head_sidx, y.head_sidx);
+            prop_assert_eq!(x.pointer, y.pointer);
+        }
+    }
+}

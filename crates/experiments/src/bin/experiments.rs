@@ -1,0 +1,64 @@
+//! CLI for regenerating every table and figure of the paper:
+//!
+//! ```text
+//! experiments <table1|table2|fig6|fig7|fig13|fig14|fig15|fig16|ablations|all> [--insts N]
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use mos_experiments::{ablations, extensions, fig13, fig14, fig15, fig16, fig6, fig7, runner, tables};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments <table1|table2|fig6|fig7|fig13|fig14|fig15|fig16|ablations|all> [--insts N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(what) = args.first() else {
+        return usage();
+    };
+    let insts = match args.iter().position(|a| a == "--insts") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+            Some(n) => n,
+            None => return usage(),
+        },
+        None => runner::DEFAULT_INSTS,
+    };
+
+    let run_one = |what: &str| -> Option<String> {
+        match what {
+            "table1" => Some(tables::table1()),
+            "table2" => Some(tables::table2(insts).to_string()),
+            "fig6" => Some(fig6::run(insts as usize).to_string()),
+            "fig7" => Some(fig7::run(insts as usize).to_string()),
+            "fig13" => Some(fig13::run(insts).to_string()),
+            "fig14" => Some(fig14::run(insts).to_string()),
+            "fig15" => Some(fig15::run(insts).to_string()),
+            "fig16" => Some(fig16::run(insts).to_string()),
+            "ablations" => Some(ablations::run_all(insts)),
+            "extensions" => Some(extensions::run_all(insts)),
+            _ => None,
+        }
+    };
+
+    if what == "all" {
+        for w in [
+            "table1", "table2", "fig6", "fig7", "fig13", "fig14", "fig15", "fig16", "ablations",
+            "extensions",
+        ] {
+            println!("{}", run_one(w).expect("known experiment"));
+        }
+        return ExitCode::SUCCESS;
+    }
+    match run_one(what) {
+        Some(out) => {
+            println!("{out}");
+            ExitCode::SUCCESS
+        }
+        None => usage(),
+    }
+}

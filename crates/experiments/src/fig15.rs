@@ -1,0 +1,140 @@
+//! Figure 15: macro-op scheduling under issue-queue contention —
+//! 32-entry queue, 128 ROB. Solid bars use 1 extra MOP formation stage;
+//! the paper's error bars (0 and 2 extra stages) are reported alongside.
+//! Here macro-op scheduling additionally benefits from two instructions
+//! sharing one queue entry, and outperforms the baseline on several
+//! benchmarks.
+
+use std::fmt;
+
+use mos_core::WakeupStyle;
+use mos_sim::MachineConfig;
+use mos_workload::spec2000;
+
+use crate::runner::{self, geomean};
+
+/// One benchmark's normalized IPCs under contention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Base-scheduling IPC with the 32-entry queue.
+    pub base_ipc: f64,
+    /// 2-cycle scheduling, normalized.
+    pub two_cycle: f64,
+    /// Macro-op, 2-source wakeup, with 0/1/2 extra formation stages.
+    pub mop_2src: [f64; 3],
+    /// Macro-op, wired-OR wakeup, with 0/1/2 extra formation stages.
+    pub mop_wired_or: [f64; 3],
+}
+
+/// The full Figure 15 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Result {
+    /// Rows in the paper's benchmark order.
+    pub rows: Vec<Fig15Row>,
+}
+
+impl Fig15Result {
+    /// Geomean normalized IPC for wired-OR with 1 extra stage (the paper
+    /// measures a 0.1 % average slowdown).
+    pub fn mean_wired_or_1stage(&self) -> f64 {
+        geomean(&self.rows.iter().map(|r| r.mop_wired_or[1]).collect::<Vec<_>>())
+    }
+}
+
+/// Run Figure 15.
+pub fn run(insts: u64) -> Fig15Result {
+    let rows = spec2000::names()
+        .into_iter()
+        .map(|name| {
+            let base = runner::run_benchmark(name, MachineConfig::base_32(), insts).ipc();
+            let two = runner::run_benchmark(name, MachineConfig::two_cycle_32(), insts).ipc();
+            let sweep = |style: WakeupStyle| -> [f64; 3] {
+                [0u32, 1, 2].map(|stages| {
+                    runner::run_benchmark(
+                        name,
+                        MachineConfig::macro_op(style, Some(32), stages),
+                        insts,
+                    )
+                    .ipc()
+                        / base
+                })
+            };
+            Fig15Row {
+                bench: name.to_owned(),
+                base_ipc: base,
+                two_cycle: two / base,
+                mop_2src: sweep(WakeupStyle::CamTwoSource),
+                mop_wired_or: sweep(WakeupStyle::WiredOr),
+            }
+        })
+        .collect();
+    Fig15Result { rows }
+}
+
+impl fmt::Display for Fig15Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 15: macro-op scheduling under issue queue contention (32-entry queue)"
+        )?;
+        writeln!(
+            f,
+            "{:8} {:>7} {:>7} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6}  (normalized; extra stages 0/1/2)",
+            "bench", "base", "2cyc", "2src+0", "2src+1", "2src+2", "wOR+0", "wOR+1", "wOR+2"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:8} {:7.3} {:7.3} | {:6.3} {:6.3} {:6.3} | {:6.3} {:6.3} {:6.3}",
+                r.bench,
+                r.base_ipc,
+                r.two_cycle,
+                r.mop_2src[0],
+                r.mop_2src[1],
+                r.mop_2src[2],
+                r.mop_wired_or[0],
+                r.mop_wired_or[1],
+                r.mop_wired_or[2],
+            )?;
+        }
+        writeln!(
+            f,
+            "geomean MOP-wiredOR (1 extra stage): {:.3} of base (paper: 0.999)",
+            self.mean_wired_or_1stage()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_narrows_the_gap_to_base() {
+        // With a 32-entry queue, entry sharing pulls MOP scheduling to
+        // (or past) base — closer than in the unrestricted Figure 14 run.
+        let r15 = run(runner::QUICK_INSTS);
+        let mean = r15.mean_wired_or_1stage();
+        assert!(mean > 0.94, "mean {mean:.3}");
+        // Some benchmarks outperform the baseline (paper: eon, gap, gcc,
+        // mcf, perl, vortex).
+        let above = r15.rows.iter().filter(|r| r.mop_wired_or[1] > 1.0).count();
+        assert!(above >= 1, "at least one benchmark should beat base");
+    }
+
+    #[test]
+    fn extra_stages_only_cost_performance() {
+        let r = run(runner::QUICK_INSTS);
+        for row in &r.rows {
+            assert!(
+                row.mop_wired_or[2] <= row.mop_wired_or[0] + 0.03,
+                "{}: +2 stages {:.3} vs +0 {:.3}",
+                row.bench,
+                row.mop_wired_or[2],
+                row.mop_wired_or[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Figure 6: characterization of the dependence-edge distance between two
+//! MOP candidate instructions.
+//!
+//! For every *value-generating candidate* (potential MOP head) in the
+//! committed stream, find the nearest dependent **single-cycle candidate**
+//! (potential MOP tail) and bucket the dynamic distance into 1–3, 4–7 or
+//! 8+ instructions; heads whose dependents are all multi-cycle are
+//! `not MOP candidate`, and heads whose value is overwritten unread are
+//! `dynamically dead`. The measurement is machine-independent — a pure
+//! trace analysis, as the paper notes.
+
+use std::fmt;
+
+use mos_isa::{Reg, TraceSource};
+use mos_workload::spec2000;
+
+/// Forward-scan horizon: consumers beyond this distance count toward the
+/// terminal categories (the stacked bars' `8+` tail flattens out long
+/// before this).
+const HORIZON: usize = 64;
+
+/// One benchmark's distance distribution (fractions of value-generating
+/// candidates; the five categories sum to 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Value-generating candidates as a percentage of committed
+    /// instructions (the figure's `% total insts` header).
+    pub valuegen_pct: f64,
+    /// Nearest candidate tail within 1–3 instructions.
+    pub d1_3: f64,
+    /// Within 4–7 instructions.
+    pub d4_7: f64,
+    /// 8 or more instructions away.
+    pub d8_plus: f64,
+    /// Dependents exist but none is a single-cycle candidate.
+    pub not_candidate: f64,
+    /// No dependent before the value is overwritten (dynamically dead).
+    pub dead: f64,
+}
+
+/// The full Figure 6 dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Result {
+    /// Rows in the paper's benchmark order.
+    pub rows: Vec<Fig6Row>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Head {
+    pos: u64,
+    nearest_tail: Option<u64>,
+    any_consumer: bool,
+    done: bool,
+}
+
+/// Analyze one benchmark over `insts` committed instructions.
+pub fn analyze_one(name: &str, insts: usize) -> Fig6Row {
+    let spec = spec2000::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let mut trace = spec.trace(crate::runner::SEED);
+    let program = trace.program().clone();
+
+    let mut last_writer: [Option<usize>; Reg::NUM] = [None; Reg::NUM];
+    let mut heads: Vec<Head> = Vec::new();
+    let mut total = 0u64;
+    let mut valuegen = 0u64;
+    let mut buckets = [0u64; 5]; // d1_3, d4_7, d8+, not_candidate, dead
+    let retire_head = |h: &Head, buckets: &mut [u64; 5]| match h.nearest_tail {
+        Some(d) if d <= 3 => buckets[0] += 1,
+        Some(d) if d <= 7 => buckets[1] += 1,
+        Some(_) => buckets[2] += 1,
+        None if h.any_consumer => buckets[3] += 1,
+        None => buckets[4] += 1,
+    };
+
+    for (k, d) in trace.by_ref().take(insts).enumerate() {
+        let inst = program.inst(d.sidx).expect("trace sidx valid");
+        total += 1;
+        // Resolve this instruction's reads against open heads.
+        for src in inst.src_regs() {
+            if let Some(hidx) = last_writer[src.index()] {
+                let h = &mut heads[hidx];
+                if !h.done {
+                    h.any_consumer = true;
+                    if inst.is_mop_candidate() {
+                        h.nearest_tail = Some(k as u64 - h.pos);
+                        h.done = true;
+                        let done_head = *h;
+                        retire_head(&done_head, &mut buckets);
+                    }
+                }
+            }
+        }
+        // Overwrites close open heads.
+        if let Some(dst) = inst.dst() {
+            if let Some(hidx) = last_writer[dst.index()].take() {
+                let h = heads[hidx];
+                if !h.done {
+                    retire_head(&h, &mut buckets);
+                    heads[hidx].done = true;
+                }
+            }
+            if inst.is_value_generating_candidate() {
+                valuegen += 1;
+                last_writer[dst.index()] = Some(heads.len());
+                heads.push(Head {
+                    pos: k as u64,
+                    nearest_tail: None,
+                    any_consumer: false,
+                    done: false,
+                });
+            }
+        }
+        // Horizon: anything this old without a candidate tail is terminal.
+        if k >= HORIZON {
+            let cutoff = (k - HORIZON) as u64;
+            for h in heads.iter_mut() {
+                if !h.done && h.pos <= cutoff {
+                    match h.nearest_tail {
+                        Some(d) if d <= 3 => buckets[0] += 1,
+                        Some(d) if d <= 7 => buckets[1] += 1,
+                        Some(_) => buckets[2] += 1,
+                        None if h.any_consumer => buckets[3] += 1,
+                        None => buckets[4] += 1,
+                    }
+                    h.done = true;
+                }
+            }
+            // Compact occasionally to bound memory. References into the
+            // drained (done) prefix are dropped — their heads are already
+            // classified.
+            if heads.len() > 4 * HORIZON {
+                let done_prefix = heads.iter().take_while(|h| h.done).count();
+                if done_prefix > 0 {
+                    heads.drain(..done_prefix);
+                    for w in last_writer.iter_mut() {
+                        *w = match *w {
+                            Some(idx) if idx >= done_prefix => Some(idx - done_prefix),
+                            _ => None,
+                        };
+                    }
+                }
+            }
+        }
+    }
+    for h in &heads {
+        if !h.done {
+            retire_head(h, &mut buckets);
+        }
+    }
+
+    let denom = buckets.iter().sum::<u64>().max(1) as f64;
+    Fig6Row {
+        bench: name.to_owned(),
+        valuegen_pct: 100.0 * valuegen as f64 / total.max(1) as f64,
+        d1_3: buckets[0] as f64 / denom,
+        d4_7: buckets[1] as f64 / denom,
+        d8_plus: buckets[2] as f64 / denom,
+        not_candidate: buckets[3] as f64 / denom,
+        dead: buckets[4] as f64 / denom,
+    }
+}
+
+/// Run the full characterization over every benchmark.
+pub fn run(insts: usize) -> Fig6Result {
+    Fig6Result {
+        rows: spec2000::names()
+            .into_iter()
+            .map(|n| analyze_one(n, insts))
+            .collect(),
+    }
+}
+
+impl fmt::Display for Fig6Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 6: dependence edge distance between two candidate instructions"
+        )?;
+        writeln!(
+            f,
+            "{:8} {:>7} | {:>6} {:>6} {:>6} {:>7} {:>6}  (% of value-generating candidates)",
+            "bench", "%insts", "1-3", "4-7", "8+", "noncand", "dead"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:8} {:7.1} | {:6.1} {:6.1} {:6.1} {:7.1} {:6.1}",
+                r.bench,
+                r.valuegen_pct,
+                100.0 * r.d1_3,
+                100.0 * r.d4_7,
+                100.0 * r.d8_plus,
+                100.0 * r.not_candidate,
+                100.0 * r.dead
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_sum_to_one() {
+        let r = analyze_one("gzip", 20_000);
+        let sum = r.d1_3 + r.d4_7 + r.d8_plus + r.not_candidate + r.dead;
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn valuegen_pct_tracks_paper_header() {
+        // gzip 56.3 %, eon 27.8 % in the paper.
+        let gzip = analyze_one("gzip", 30_000);
+        assert!((gzip.valuegen_pct - 56.3).abs() < 6.0, "{}", gzip.valuegen_pct);
+        let eon = analyze_one("eon", 30_000);
+        assert!((eon.valuegen_pct - 27.8).abs() < 6.0, "{}", eon.valuegen_pct);
+    }
+
+    #[test]
+    fn gap_is_short_vortex_is_long() {
+        let gap = analyze_one("gap", 30_000);
+        let vortex = analyze_one("vortex", 30_000);
+        let gap_within8 = gap.d1_3 + gap.d4_7;
+        let vortex_within8 = vortex.d1_3 + vortex.d4_7;
+        assert!(
+            gap_within8 > vortex_within8 + 0.15,
+            "gap {gap_within8:.2} vs vortex {vortex_within8:.2}"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Shared experiment plumbing: standard seeds, instruction budgets, and
+//! the run-one-configuration helper every figure uses.
+
+use mos_sim::{MachineConfig, Simulator, SimStats};
+use mos_workload::spec2000;
+use mos_workload::WorkloadSpec;
+
+/// Workload seed used by every experiment (deterministic across
+/// schedulers and runs).
+pub const SEED: u64 = 42;
+
+/// Default committed-instruction budget per simulation when regenerating
+/// figures from the CLI.
+pub const DEFAULT_INSTS: u64 = 150_000;
+
+/// A quicker budget for Criterion benches and smoke tests.
+pub const QUICK_INSTS: u64 = 40_000;
+
+/// Simulate `spec` under `cfg` for `insts` committed instructions.
+pub fn run_config(spec: &WorkloadSpec, cfg: MachineConfig, insts: u64) -> SimStats {
+    let trace = spec.trace(SEED);
+    Simulator::new(cfg, trace).run(insts)
+}
+
+/// Simulate a benchmark by name.
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the twelve benchmark models.
+pub fn run_benchmark(name: &str, cfg: MachineConfig, insts: u64) -> SimStats {
+    let spec = spec2000::by_name(name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    run_config(&spec, cfg, insts)
+}
+
+/// Render one row of percentages after a left-aligned label.
+pub fn pct_row(label: &str, values: &[f64]) -> String {
+    let mut s = format!("{label:10}");
+    for v in values {
+        s.push_str(&format!(" {:6.1}", v * 100.0));
+    }
+    s
+}
+
+/// Geometric mean (used for cross-benchmark IPC summaries).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn run_benchmark_smokes() {
+        let s = run_benchmark("gzip", MachineConfig::base_32(), 2_000);
+        assert!(s.committed >= 2_000);
+        assert!(s.ipc() > 0.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_benchmark_panics() {
+        run_benchmark("nope", MachineConfig::base_32(), 100);
+    }
+}

@@ -1,0 +1,246 @@
+//! Aggregate simulation statistics, including everything Figures 13–16
+//! and Table 2 are built from.
+
+use mos_core::detect::DetectStats;
+use mos_core::form::FormStats;
+use mos_core::queue::QueueStats;
+use mos_core::GroupRole;
+
+/// End-of-run statistics snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Committed instructions (no-ops excluded, as in the paper).
+    pub committed: u64,
+    /// Instructions fetched, including wrong-path.
+    pub fetched: u64,
+    /// Wrong-path instructions fetched.
+    pub wrong_path_fetched: u64,
+    /// Conditional branches committed.
+    pub branches: u64,
+    /// Mispredicted committed branches (conditional + indirect + return).
+    pub mispredicts: u64,
+    /// Pipeline squashes performed.
+    pub squashes: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed loads that missed the DL1 (includes forwarded = hits).
+    pub load_l1_misses: u64,
+    /// Loads served by store forwarding.
+    pub load_forwards: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// (IL1 hits, IL1 misses).
+    pub il1: (u64, u64),
+    /// (DL1 hits, DL1 misses) — demand loads only.
+    pub dl1: (u64, u64),
+    /// (L2 hits, L2 misses).
+    pub l2: (u64, u64),
+    /// Committed-instruction counts by grouping role (Figure 13):
+    /// indexed by [`SimStats::role_index`].
+    pub roles: [u64; 5],
+    /// Issue-queue statistics.
+    pub queue: QueueStats,
+    /// MOP detection statistics.
+    pub detect: DetectStats,
+    /// MOP formation statistics.
+    pub form: FormStats,
+    /// MOP pointer store: (installs, line invalidations, filter deletes).
+    pub pointers: (u64, u64, u64),
+    /// MOP entries (fused pairs/chains) issued.
+    pub mop_entries_issued: u64,
+    /// Times the last-arriving-operand filter deleted a pointer.
+    pub last_arrival_filtered: u64,
+}
+
+impl SimStats {
+    /// Dense index for a [`GroupRole`] in [`SimStats::roles`].
+    pub fn role_index(role: GroupRole) -> usize {
+        match role {
+            GroupRole::NotCandidate => 0,
+            GroupRole::NotGrouped => 1,
+            GroupRole::MopIndependent => 2,
+            GroupRole::MopNonValueGen => 3,
+            GroupRole::MopValueGen => 4,
+        }
+    }
+
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of committed instructions with the given role.
+    pub fn role_frac(&self, role: GroupRole) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.roles[Self::role_index(role)] as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of committed instructions grouped into any MOP
+    /// (Figure 13's grouped total: dependent + independent).
+    pub fn grouped_frac(&self) -> f64 {
+        self.role_frac(GroupRole::MopValueGen)
+            + self.role_frac(GroupRole::MopNonValueGen)
+            + self.role_frac(GroupRole::MopIndependent)
+    }
+
+    /// Reduction in scheduler insertions from sharing entries: grouped
+    /// instructions occupy half an entry each (the paper reports an
+    /// average 16.2 %).
+    pub fn insert_reduction(&self) -> f64 {
+        self.grouped_frac() / 2.0
+    }
+
+    /// Mispredictions per committed branch.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// DL1 demand-load miss rate.
+    pub fn dl1_miss_rate(&self) -> f64 {
+        let total = self.dl1.0 + self.dl1.1;
+        if total == 0 {
+            0.0
+        } else {
+            self.dl1.1 as f64 / total as f64
+        }
+    }
+
+    /// Multi-line human-readable report of everything measured.
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "cycles {:>12}   committed {:>12}   IPC {:.3}",
+            self.cycles,
+            self.committed,
+            self.ipc()
+        );
+        let _ = writeln!(
+            s,
+            "fetched {:>11}   wrong-path {:>11}   ({:.1} % of fetch)",
+            self.fetched,
+            self.wrong_path_fetched,
+            100.0 * self.wrong_path_fetched as f64 / self.fetched.max(1) as f64
+        );
+        let _ = writeln!(
+            s,
+            "branches {:>10}   mispredicts {:>10}   ({:.2} %)   squashes {}",
+            self.branches,
+            self.mispredicts,
+            100.0 * self.mispredict_rate(),
+            self.squashes
+        );
+        let _ = writeln!(
+            s,
+            "loads {:>13}   DL1 miss {:.2} %   forwards {}   L2 {}h/{}m   IL1 {}h/{}m",
+            self.loads,
+            100.0 * self.dl1_miss_rate(),
+            self.load_forwards,
+            self.l2.0,
+            self.l2.1,
+            self.il1.0,
+            self.il1.1
+        );
+        let _ = writeln!(
+            s,
+            "queue: issued {} entries / {} uops, {} load-replays, {} collisions, {} pileups, mean occupancy {:.1}",
+            self.queue.issued_entries,
+            self.queue.issued_uops,
+            self.queue.load_replay_uops,
+            self.queue.collisions,
+            self.queue.pileup_replays,
+            self.queue.mean_occupancy()
+        );
+        if self.grouped_frac() > 0.0 || self.pointers.0 > 0 {
+            let _ = writeln!(
+                s,
+                "macro-ops: {:.1} % grouped (vg {:.1} / nvg {:.1} / indep {:.1}), {} MOP entries issued",
+                100.0 * self.grouped_frac(),
+                100.0 * self.role_frac(GroupRole::MopValueGen),
+                100.0 * self.role_frac(GroupRole::MopNonValueGen),
+                100.0 * self.role_frac(GroupRole::MopIndependent),
+                self.mop_entries_issued
+            );
+            let _ = writeln!(
+                s,
+                "pointers: {} installed, {} dropped with I-cache lines, {} filtered (last-arriving), {} pairs fused / {} cancelled",
+                self.pointers.0,
+                self.pointers.1,
+                self.pointers.2,
+                self.form.fused_pairs,
+                self.form.cancelled
+            );
+            let _ = writeln!(
+                s,
+                "detection: {} dependent / {} independent pairs; rejects: {} cycle, {} srcs, {} flow",
+                self.detect.dependent_pairs,
+                self.detect.independent_pairs,
+                self.detect.cycle_rejects,
+                self.detect.src_limit_rejects,
+                self.detect.flow_rejects
+            );
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_indices_are_dense_and_unique() {
+        let all = [
+            GroupRole::NotCandidate,
+            GroupRole::NotGrouped,
+            GroupRole::MopIndependent,
+            GroupRole::MopNonValueGen,
+            GroupRole::MopValueGen,
+        ];
+        let mut seen = [false; 5];
+        for r in all {
+            let i = SimStats::role_index(r);
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn derived_rates() {
+        let mut s = SimStats {
+            cycles: 100,
+            committed: 150,
+            branches: 10,
+            mispredicts: 2,
+            ..SimStats::default()
+        };
+        s.roles[SimStats::role_index(GroupRole::MopValueGen)] = 30;
+        s.roles[SimStats::role_index(GroupRole::MopIndependent)] = 15;
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.2).abs() < 1e-12);
+        assert!((s.grouped_frac() - 0.3).abs() < 1e-12);
+        assert!((s.insert_reduction() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_is_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+        assert_eq!(s.dl1_miss_rate(), 0.0);
+    }
+}

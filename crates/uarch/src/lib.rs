@@ -1,0 +1,18 @@
+//! # mos-uarch
+//!
+//! Microarchitectural substrates for the `mopsched` pipeline, configured to
+//! Table 1 of the paper:
+//!
+//! * [`branch`] — combined bimodal (4k) / gshare (4k) predictor with a 4k
+//!   selector, a 1k-entry 4-way BTB and a 16-entry return-address stack;
+//! * [`cache`] — set-associative LRU caches (16KB 2-way IL1, 16KB 4-way
+//!   DL1, 256KB 4-way unified L2, 100-cycle memory) assembled into a
+//!   [`cache::MemoryHierarchy`].
+//!
+//! Both are standalone and unit-tested; the timing simulator in `mos-sim`
+//! composes them.
+
+#![warn(missing_docs)]
+
+pub mod branch;
+pub mod cache;

@@ -1,0 +1,145 @@
+//! Property-based tests for the cache and branch-prediction substrates.
+
+use proptest::prelude::*;
+
+use mos_uarch::branch::{BranchConfig, Btb, CombinedPredictor, ReturnAddressStack};
+use mos_uarch::cache::{Cache, CacheConfig, MemoryHierarchy};
+
+fn tiny_cache() -> Cache {
+    Cache::new(CacheConfig {
+        size_bytes: 1024,
+        ways: 2,
+        line_bytes: 64,
+        hit_latency: 2,
+    })
+}
+
+proptest! {
+    /// Re-accessing any address immediately after an access always hits.
+    #[test]
+    fn access_then_access_hits(addrs in prop::collection::vec(0u64..1 << 20, 1..200)) {
+        let mut c = tiny_cache();
+        for a in addrs {
+            c.access(a);
+            prop_assert!(c.access(a).hit, "immediate re-access of {a:#x} must hit");
+            prop_assert!(c.probe(a), "probe must agree");
+        }
+    }
+
+    /// Hit + miss counts always equal total accesses, and the number of
+    /// distinct resident lines never exceeds capacity.
+    #[test]
+    fn counters_and_capacity(addrs in prop::collection::vec(0u64..1 << 16, 1..300)) {
+        let mut c = tiny_cache();
+        let mut resident: std::collections::HashSet<u64> = Default::default();
+        for &a in &addrs {
+            let r = c.access(a);
+            resident.insert(a & !63);
+            if let Some(e) = r.evicted {
+                resident.remove(&e);
+            }
+        }
+        let (h, m) = c.stats();
+        prop_assert_eq!(h + m, addrs.len() as u64);
+        prop_assert!(resident.len() <= 1024 / 64, "lines {} > capacity", resident.len());
+        // Every tracked-resident line must probe as present.
+        for line in resident {
+            prop_assert!(c.probe(line), "line {line:#x} lost without an eviction report");
+        }
+    }
+
+    /// Evictions are only reported on misses, and the evicted line really
+    /// leaves the cache.
+    #[test]
+    fn evictions_are_real(addrs in prop::collection::vec(0u64..1 << 14, 1..300)) {
+        let mut c = tiny_cache();
+        for a in addrs {
+            let r = c.access(a);
+            if r.hit {
+                prop_assert!(r.evicted.is_none());
+            } else if let Some(e) = r.evicted {
+                prop_assert!(!c.probe(e), "evicted line {e:#x} still probes");
+            }
+        }
+    }
+
+    /// The hierarchy's latency is always one of the three legal values
+    /// and the L1 hit path reports the L1 latency.
+    #[test]
+    fn hierarchy_latency_domain(addrs in prop::collection::vec(0u64..1 << 22, 1..200)) {
+        let mut m = MemoryHierarchy::data_side();
+        for a in addrs {
+            let r = m.access(a);
+            let lat = r.latency;
+            prop_assert!(
+                lat == 2 || lat == 10 || lat == 110,
+                "illegal hierarchy latency {lat}"
+            );
+            prop_assert_eq!(r.l1_hit, lat == 2);
+        }
+    }
+
+    /// The BTB never returns a target it was not taught.
+    #[test]
+    fn btb_returns_only_taught_targets(
+        ops in prop::collection::vec((0u64..4096, 0u64..1 << 30, any::<bool>()), 1..200)
+    ) {
+        let mut btb = Btb::new(64, 4);
+        let mut taught: std::collections::HashMap<u64, u64> = Default::default();
+        for (pc, target, is_update) in ops {
+            let pc = pc << 2;
+            if is_update {
+                btb.update(pc, target);
+                taught.insert(pc, target);
+            } else if let Some(t) = btb.lookup(pc) {
+                prop_assert_eq!(Some(&t), taught.get(&pc), "BTB invented a target");
+            }
+        }
+    }
+
+    /// RAS pop returns the matching push as long as depth is respected.
+    #[test]
+    fn ras_is_a_stack_within_depth(depth_ops in prop::collection::vec(0u64..1 << 20, 1..16)) {
+        let mut ras = ReturnAddressStack::new(16);
+        for (i, &v) in depth_ops.iter().enumerate() {
+            ras.push(v + i as u64);
+        }
+        for (i, &v) in depth_ops.iter().enumerate().rev() {
+            prop_assert_eq!(ras.pop(), v + i as u64);
+        }
+    }
+
+    /// Predictor accuracy on an always-taken branch converges regardless
+    /// of the PC, and history restore round-trips.
+    #[test]
+    fn predictor_converges_on_bias(pc in 0u64..1 << 20) {
+        let pc = pc << 2;
+        let mut p = CombinedPredictor::new(&BranchConfig::default());
+        let mut last_correct = false;
+        for _ in 0..32 {
+            let (pred, h) = p.predict(pc);
+            last_correct = pred;
+            if !pred {
+                p.restore_history(h, true);
+            }
+            p.update(pc, true, h);
+        }
+        prop_assert!(last_correct, "always-taken branch not learned at {pc:#x}");
+    }
+}
+
+#[test]
+fn snapshot_restore_is_exact() {
+    let mut ras = ReturnAddressStack::new(8);
+    for v in [1u64, 2, 3] {
+        ras.push(v);
+    }
+    let snap = ras.snapshot();
+    for v in [9u64, 8, 7, 6, 5, 4, 3, 2, 1] {
+        ras.push(v);
+    }
+    ras.restore(snap);
+    assert_eq!(ras.pop(), 3);
+    assert_eq!(ras.pop(), 2);
+    assert_eq!(ras.pop(), 1);
+}

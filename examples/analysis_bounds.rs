@@ -1,0 +1,52 @@
+//! Analytical bounds vs measured IPC: the `mos-analysis` crate's
+//! dataflow-graph model explains *why* each benchmark reacts to the
+//! pipelined scheduling loop the way Figure 14 shows — before running a
+//! single pipeline cycle.
+//!
+//! ```text
+//! cargo run --release --example analysis_bounds [insts]
+//! ```
+
+use mopsched::analysis::{Ddg, ScheduleModel};
+use mopsched::sim::{MachineConfig, Simulator};
+use mopsched::workload::spec2000;
+
+fn main() {
+    let insts: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30_000);
+
+    println!(
+        "{:8} {:>7} {:>7} {:>8} {:>8} {:>8} {:>9}",
+        "bench", "bound", "est1c", "est2c", "sim-base", "sim-2c", "1c-edge%"
+    );
+    for spec in spec2000::all() {
+        let ddg = Ddg::from_trace(spec.trace(42), insts);
+        let atomic = ScheduleModel::table1_atomic();
+        let two = ScheduleModel::table1_two_cycle();
+        let sim_base = Simulator::new(MachineConfig::base_unrestricted(), spec.trace(42))
+            .run(insts as u64)
+            .ipc();
+        let sim_two = Simulator::new(MachineConfig::two_cycle_unrestricted(), spec.trace(42))
+            .run(insts as u64)
+            .ipc();
+        println!(
+            "{:8} {:7.2} {:7.2} {:8.2} {:8.2} {:8.2} {:9.1}",
+            spec.name,
+            atomic.ipc_upper_bound(&ddg),
+            atomic.estimate_ipc(&ddg),
+            two.estimate_ipc(&ddg),
+            sim_base,
+            sim_two,
+            100.0 * ddg.single_cycle_edge_frac(),
+        );
+    }
+    println!(
+        "\n`bound` is the provable IPC ceiling (width and critical path);\n\
+         `est1c`/`est2c` are greedy window-limited estimates under atomic vs\n\
+         2-cycle scheduling; the simulator columns must stay below the bound.\n\
+         Benchmarks whose est2c collapses relative to est1c are exactly the\n\
+         ones Figure 14 shows losing >=10 % under the pipelined loop."
+    );
+}

@@ -1,0 +1,96 @@
+//! Build a custom synthetic workload from scratch — the public
+//! `WorkloadSpec` API lets you dial the properties the paper's mechanisms
+//! respond to — and watch how scheduler sensitivity tracks the
+//! dependence-distance model.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use mopsched::core::WakeupStyle;
+use mopsched::sim::{MachineConfig, Simulator};
+use mopsched::workload::spec2000::{DistanceModel, Mix, WorkloadSpec};
+
+fn custom(name: &'static str, distance: DistanceModel, purity: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        name,
+        body_len: 160,
+        mix: Mix {
+            load: 0.22,
+            store: 0.08,
+            branch: 0.10,
+            mul: 0.01,
+            div: 0.0,
+            fp: 0.0,
+            call: 0.03,
+        },
+        distance,
+        random_branch_frac: 0.05,
+        random_taken_prob: 0.3,
+        working_set: 128 * 1024,
+        stride_frac: 0.8,
+        hot_frac: 0.95,
+        chain_purity: purity,
+        inner_trip: 24,
+    }
+}
+
+fn main() {
+    let insts = 60_000;
+    let specs = [
+        custom(
+            "tight-chains",
+            DistanceModel {
+                short_frac: 0.95,
+                geo_p: 0.7,
+                long_max: 16,
+            },
+            0.95,
+        ),
+        custom(
+            "medium",
+            DistanceModel {
+                short_frac: 0.75,
+                geo_p: 0.4,
+                long_max: 32,
+            },
+            0.8,
+        ),
+        custom(
+            "wide-ilp",
+            DistanceModel {
+                short_frac: 0.45,
+                geo_p: 0.3,
+                long_max: 48,
+            },
+            0.65,
+        ),
+    ];
+
+    println!("custom workloads: 2-cycle loss and macro-op recovery vs dependence distance\n");
+    println!(
+        "{:14} {:>8} {:>9} {:>9} {:>9}",
+        "workload", "base", "2-cycle%", "MOP-wOR%", "grouped%"
+    );
+    for spec in specs {
+        let run = |cfg: MachineConfig| Simulator::new(cfg, spec.trace(1)).run(insts);
+        let base = run(MachineConfig::base_unrestricted());
+        let two = run(MachineConfig::two_cycle_unrestricted());
+        let mop = run(MachineConfig::macro_op(WakeupStyle::WiredOr, None, 0));
+        println!(
+            "{:14} {:8.3} {:9.1} {:9.1} {:9.1}",
+            spec.name,
+            base.ipc(),
+            100.0 * two.ipc() / base.ipc(),
+            100.0 * mop.ipc() / base.ipc(),
+            100.0 * mop.grouped_frac()
+        );
+    }
+    println!(
+        "\nShort dependence distances (tight chains) make the pipelined 2-cycle\n\
+         scheduler bleed throughput and give macro-op detection plenty of\n\
+         adjacent pairs to fuse; long distances leave plenty of independent\n\
+         work and neither matters much — the spread the paper's Figure 6\n\
+         characterization predicts."
+    );
+}

@@ -1,0 +1,108 @@
+//! The paper's worked example (Figures 4 and 5): the four-instruction
+//! gzip fragment
+//!
+//! ```text
+//! 1: add r1 <- ...
+//! 2: lw  r4 <- 0(r1)
+//! 3: sub r5 <- r1, 1
+//! 4: bez r5, 0xff
+//! ```
+//!
+//! scheduled three ways — atomic (1-cycle), pipelined 2-cycle, and
+//! 2-cycle macro-op scheduling with MOP(1,3) — printing the issue cycle
+//! of every instruction, exactly the comparison of Figure 5.
+//!
+//! ```text
+//! cargo run --release --example pipeline_trace
+//! ```
+
+use mopsched::core::queue::IssueQueue;
+use mopsched::core::{SchedConfig, SchedUop, SchedulerKind, Tag, UopId};
+use mopsched::isa::InstClass;
+
+fn alu(id: u64, dst: Option<u64>, srcs: &[u64]) -> SchedUop {
+    let mut u = SchedUop::leaf(UopId(id), InstClass::IntAlu, dst.map(Tag));
+    u.srcs = srcs.iter().copied().map(Tag).collect();
+    u
+}
+
+fn load(id: u64, dst: u64, srcs: &[u64]) -> SchedUop {
+    let mut u = SchedUop::leaf(UopId(id), InstClass::Load, Some(Tag(dst)));
+    u.srcs = srcs.iter().copied().map(Tag).collect();
+    u
+}
+
+fn branch(id: u64, srcs: &[u64]) -> SchedUop {
+    let mut u = SchedUop::leaf(UopId(id), InstClass::CondBranch, None);
+    u.srcs = srcs.iter().copied().map(Tag).collect();
+    u
+}
+
+/// Run the fragment and return issue cycles of instructions 1..=4.
+fn schedule(kind: SchedulerKind, fuse_1_and_3: bool) -> [Option<u64>; 4] {
+    let cfg = SchedConfig {
+        kind,
+        ..SchedConfig::default()
+    };
+    let mut q = IssueQueue::new(cfg);
+    // Tags: instruction 1 -> 10 (the MOP tag when fused), 2 -> 11.
+    if fuse_1_and_3 {
+        let head = q.insert_mop_head(alu(1, Some(10), &[])).expect("space");
+        q.insert(load(2, 11, &[10])).expect("space");
+        q.fuse_tail(head, alu(3, Some(10), &[10])).expect("fusible");
+    } else {
+        q.insert(alu(1, Some(10), &[])).expect("space");
+        q.insert(load(2, 11, &[10])).expect("space");
+        q.insert(alu(3, Some(12), &[10])).expect("space");
+    }
+    let br_src = if fuse_1_and_3 { 10 } else { 12 };
+    q.insert(branch(4, &[br_src])).expect("space");
+
+    let mut cycles = [None; 4];
+    for now in 0..30 {
+        for iss in q.cycle(now) {
+            for u in &iss.uops {
+                cycles[(u.id.0 - 1) as usize] = Some(iss.issue_cycle);
+            }
+        }
+    }
+    cycles
+}
+
+fn main() {
+    println!("Figure 5: wakeup and select timings for the gzip fragment\n");
+    println!("  1: add r1 <- ...      2: lw r4 <- 0(r1)");
+    println!("  3: sub r5 <- r1, 1    4: bez r5, 0xff\n");
+
+    let rows = [
+        ("atomic (1-cycle) scheduling", SchedulerKind::Base, false),
+        ("2-cycle scheduling", SchedulerKind::TwoCycle, false),
+        ("2-cycle macro-op MOP(1,3)", SchedulerKind::MacroOp, true),
+    ];
+    println!(
+        "{:30} {:>6} {:>6} {:>6} {:>6}",
+        "scheduler", "i1", "i2", "i3", "i4"
+    );
+    for (label, kind, fuse) in rows {
+        let c = schedule(kind, fuse);
+        print!("{label:30}");
+        for v in c {
+            match v {
+                Some(x) => print!(" {x:6}"),
+                None => print!("  never"),
+            }
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading the rows like the paper's Figure 5 (select cycles, cycle n = 0):\n\
+         * atomic: 3 issues at n+1, the branch at n+2 — back-to-back.\n\
+         * 2-cycle: every single-cycle edge stretches to two cycles; the\n\
+           branch waits until n+4.\n\
+         * macro-op: MOP(1,3) issues as one unit at n; its dependents (2\n\
+           and 4) wake at n+2. Since the tail (3) executes at n+1, the\n\
+           branch executes consecutively after it — the 2-cycle scheduler\n\
+           behaves like an atomic one across the fused edge."
+    );
+}

@@ -1,0 +1,209 @@
+//! `mossim` — run one benchmark or kernel under one scheduler and print
+//! the full statistics report.
+//!
+//! ```text
+//! mossim [options]
+//!   --bench NAME        benchmark model (default gzip) or kernel with --kernel
+//!   --kernel NAME       run an assembly kernel instead of a benchmark model
+//!   --sched KIND        base | 2cycle | mop-2src | mop-wor | sf-squash |
+//!                       sf-scoreboard | spec-wakeup  (default mop-wor)
+//!   --queue N           issue-queue entries; 0 = unrestricted (default 32)
+//!   --stages N          extra MOP formation stages, 0..2 (default 1)
+//!   --insts N           committed instructions (default 100000)
+//!   --seed N            workload seed (default 42)
+//!   --ideal-branch      perfect branch prediction
+//!   --ideal-memory      perfect data cache
+//!   --timeline N        print the first N uop timelines
+//! ```
+
+use std::process::ExitCode;
+
+use mopsched::core::WakeupStyle;
+use mopsched::isa::{Program, TraceSource};
+use mopsched::sim::{MachineConfig, Simulator};
+use mopsched::{asm, workload};
+
+fn parse() -> Result<Args, String> {
+    let mut a = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--bench" => a.bench = val("--bench")?,
+            "--kernel" => a.kernel = Some(val("--kernel")?),
+            "--sched" => a.sched = val("--sched")?,
+            "--queue" => {
+                a.queue = val("--queue")?
+                    .parse()
+                    .map_err(|e| format!("--queue: {e}"))?
+            }
+            "--stages" => {
+                a.stages = val("--stages")?
+                    .parse()
+                    .map_err(|e| format!("--stages: {e}"))?
+            }
+            "--insts" => {
+                a.insts = val("--insts")?
+                    .parse()
+                    .map_err(|e| format!("--insts: {e}"))?
+            }
+            "--seed" => {
+                a.seed = val("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--ideal-branch" => a.ideal_branch = true,
+            "--ideal-memory" => a.ideal_memory = true,
+            "--timeline" => {
+                a.timeline = val("--timeline")?
+                    .parse()
+                    .map_err(|e| format!("--timeline: {e}"))?
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(a)
+}
+
+struct Args {
+    bench: String,
+    kernel: Option<String>,
+    sched: String,
+    queue: usize,
+    stages: u32,
+    insts: u64,
+    seed: u64,
+    ideal_branch: bool,
+    ideal_memory: bool,
+    timeline: usize,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            bench: "gzip".into(),
+            kernel: None,
+            sched: "mop-wor".into(),
+            queue: 32,
+            stages: 1,
+            insts: 100_000,
+            seed: 42,
+            ideal_branch: false,
+            ideal_memory: false,
+            timeline: 0,
+        }
+    }
+}
+
+fn config(a: &Args) -> Result<MachineConfig, String> {
+    let q = if a.queue == 0 { None } else { Some(a.queue) };
+    let mut cfg = match a.sched.as_str() {
+        "base" => {
+            let mut c = MachineConfig::base_32();
+            c.sched.queue_entries = q;
+            c
+        }
+        "2cycle" => {
+            let mut c = MachineConfig::two_cycle_32();
+            c.sched.queue_entries = q;
+            c
+        }
+        "mop-2src" => MachineConfig::macro_op(WakeupStyle::CamTwoSource, q, a.stages),
+        "mop-wor" => MachineConfig::macro_op(WakeupStyle::WiredOr, q, a.stages),
+        "sf-squash" => {
+            let mut c = MachineConfig::select_free_squash_dep_32();
+            c.sched.queue_entries = q;
+            c
+        }
+        "sf-scoreboard" => {
+            let mut c = MachineConfig::select_free_scoreboard_32();
+            c.sched.queue_entries = q;
+            c
+        }
+        "spec-wakeup" => {
+            let mut c = MachineConfig::speculative_wakeup_32();
+            c.sched.queue_entries = q;
+            c
+        }
+        other => return Err(format!("unknown scheduler `{other}`")),
+    };
+    if a.ideal_branch {
+        cfg = cfg.with_ideal_branch();
+    }
+    if a.ideal_memory {
+        cfg = cfg.with_ideal_memory();
+    }
+    Ok(cfg)
+}
+
+fn run<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, program: Program) {
+    let mut sim = Simulator::new(cfg, trace);
+    if a.timeline > 0 {
+        sim.enable_timeline(a.timeline);
+    }
+    let stats = sim.run(a.insts);
+    print!("{}", stats.report());
+    if let Some(t) = sim.timeline() {
+        println!("\nfirst {} uops:", t.entries().len());
+        print!("{}", t.render(&program));
+    }
+}
+
+fn main() -> ExitCode {
+    let a = match parse() {
+        Ok(a) => a,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!("see the module docs at the top of mossim.rs for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = match config(&a) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(kname) = &a.kernel {
+        let Some(kernel) = workload::kernels::by_name(kname) else {
+            eprintln!(
+                "unknown kernel `{kname}`; available: {:?}",
+                workload::kernels::all().iter().map(|k| k.name).collect::<Vec<_>>()
+            );
+            return ExitCode::FAILURE;
+        };
+        println!("kernel `{kname}`, scheduler {}, queue {:?}\n", a.sched, cfg.sched.queue_entries);
+        let image = kernel.image();
+        run(
+            &a,
+            cfg,
+            asm::Interpreter::new(&image),
+            image.program.clone(),
+        );
+    } else {
+        let Some(spec) = workload::spec2000::by_name(&a.bench) else {
+            eprintln!(
+                "unknown benchmark `{}`; available: {:?}",
+                a.bench,
+                workload::spec2000::names()
+            );
+            return ExitCode::FAILURE;
+        };
+        println!(
+            "benchmark `{}` (seed {}), scheduler {}, queue {:?}, {} insts\n",
+            a.bench, a.seed, a.sched, cfg.sched.queue_entries, a.insts
+        );
+        let trace = spec.trace(a.seed);
+        let program = trace.program().clone();
+        run(&a, cfg, trace, program);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,114 @@
+//! Cross-crate integration: the timing pipeline must commit exactly the
+//! instruction stream the functional machine executes — for every kernel
+//! and every scheduler — and must be deterministic.
+
+use mopsched::asm::{assemble, Interpreter};
+use mopsched::core::WakeupStyle;
+use mopsched::isa::InstClass;
+use mopsched::sim::{MachineConfig, Simulator};
+use mopsched::workload::kernels;
+
+fn all_schedulers() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("base", MachineConfig::base_32()),
+        ("two-cycle", MachineConfig::two_cycle_32()),
+        ("mop-2src", MachineConfig::macro_op(WakeupStyle::CamTwoSource, Some(32), 0)),
+        ("mop-wor+1", MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1)),
+        ("mop-wor+2", MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 2)),
+        ("sf-squash", MachineConfig::select_free_squash_dep_32()),
+        ("sf-scoreboard", MachineConfig::select_free_scoreboard_32()),
+    ]
+}
+
+fn functional_commits(image: &mopsched::asm::Image) -> u64 {
+    let (trace, _) = Interpreter::new(image).run_collect(usize::MAX);
+    trace
+        .iter()
+        .filter(|d| image.program.inst(d.sidx).expect("valid").class() != InstClass::Nop)
+        .count() as u64
+}
+
+#[test]
+fn every_kernel_commits_identically_under_every_scheduler() {
+    for kernel in kernels::all() {
+        let image = kernel.image();
+        let expected = functional_commits(&image);
+        for (label, cfg) in all_schedulers() {
+            let stats = Simulator::new(cfg, Interpreter::new(&image)).run(u64::MAX);
+            assert_eq!(
+                stats.committed, expected,
+                "{}/{label}: committed {} != functional {}",
+                kernel.name, stats.committed, expected
+            );
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let image = kernels::DOT_PRODUCT.image();
+    let cfg = MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1);
+    let a = Simulator::new(cfg.clone(), Interpreter::new(&image)).run(u64::MAX);
+    let b = Simulator::new(cfg, Interpreter::new(&image)).run(u64::MAX);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.roles, b.roles);
+    assert_eq!(a.mop_entries_issued, b.mop_entries_issued);
+}
+
+#[test]
+fn fused_pairs_do_not_change_architectural_behaviour() {
+    // A dense chain of groupable single-cycle ops around memory and
+    // branches: macro-op mode must commit the same count and the kernel's
+    // functional result must hold regardless.
+    let src = r"
+        li   r1, 200
+        li   r2, 0
+        li   r3, 0x9000
+    loop:
+        addi r4, r1, 3
+        sub  r5, r4, r1
+        st   r5, 0(r3)
+        ld   r6, 0(r3)
+        add  r2, r2, r6
+        addi r3, r3, 8
+        addi r1, r1, -1
+        bnez r1, loop
+        mov  r10, r2
+        halt";
+    let image = assemble(src).expect("valid kernel");
+    let (_, state) = Interpreter::new(&image).run_collect(1_000_000);
+    assert_eq!(state.int_reg(mopsched::isa::Reg::int(10)), 600, "3 * 200");
+
+    let expected = functional_commits(&image);
+    let mop = Simulator::new(
+        MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 0),
+        Interpreter::new(&image),
+    )
+    .run(u64::MAX);
+    assert_eq!(mop.committed, expected);
+    assert!(
+        mop.grouped_frac() > 0.3,
+        "chain kernel should group heavily: {:.2}",
+        mop.grouped_frac()
+    );
+}
+
+#[test]
+fn tiny_and_degenerate_programs_drain_cleanly() {
+    for src in [
+        "halt",
+        "nop\nhalt",
+        "li r1, 1\nhalt",
+        "j end\nnop\nend: halt",
+        // Loop executed zero times.
+        "li r1, 0\nbeqz r1, end\nnop\nend: halt",
+    ] {
+        let image = assemble(src).expect("valid");
+        for (label, cfg) in all_schedulers() {
+            let expected = functional_commits(&image);
+            let stats = Simulator::new(cfg, Interpreter::new(&image)).run(u64::MAX);
+            assert_eq!(stats.committed, expected, "{label} on {src:?}");
+        }
+    }
+}
