@@ -55,6 +55,39 @@ fn bench_issue_queue(c: &mut Criterion) {
             black_box(issued)
         })
     });
+
+    // The allocation-free path the simulator's hot loop uses, measured
+    // under select-free scheduling (speculative broadcasts stress the tag
+    // table hardest) with periodic pruning as in the real cycle loop.
+    c.bench_function("component_queue_cycle_into", |b| {
+        let cfg = SchedConfig {
+            kind: SchedulerKind::SelectFreeScoreboard,
+            wakeup: WakeupStyle::WiredOr,
+            queue_entries: Some(32),
+            ..SchedConfig::default()
+        };
+        let mut q = IssueQueue::new(cfg);
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        let mut id = 0u64;
+        b.iter(|| {
+            while q.free_entries() > 16 {
+                let mut u = SchedUop::leaf(UopId(id), InstClass::IntAlu, Some(Tag(id)));
+                if id > 0 {
+                    // Two-source fan-in exercises the wakeup CAM per entry.
+                    u.srcs = vec![Tag(id - 1), Tag(id.saturating_sub(7))];
+                }
+                q.insert(u).expect("space available");
+                id += 1;
+            }
+            q.cycle_into(now, &mut out);
+            now += 1;
+            if now.is_multiple_of(4096) {
+                q.prune_tags(4096);
+            }
+            black_box(out.len())
+        })
+    });
 }
 
 fn bench_trace_generation(c: &mut Criterion) {

@@ -1,10 +1,9 @@
 //! Scheduler and macro-op formation configuration (Section 6.2's
 //! scheduler configurations).
 
-use serde::{Deserialize, Serialize};
 
 /// Which scheduling-loop model the issue queue runs (Section 6.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchedulerKind {
     /// Ideally pipelined scheduling logic — "conceptually equivalent to
     /// conventional atomic scheduling with one extra pipeline stage".
@@ -66,7 +65,7 @@ impl SchedulerKind {
 /// Wakeup-array style (Section 2.2). The styles schedule identically; they
 /// differ in how many distinct source tags one issue-queue entry can track,
 /// which constrains MOP detection (Section 3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WakeupStyle {
     /// CAM-style with two tag comparators per entry: a MOP's merged source
     /// set may not exceed two tags.
@@ -87,7 +86,7 @@ impl WakeupStyle {
 }
 
 /// How MOP detection avoids dependence cycles (Section 5.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CycleDetection {
     /// The paper's conservative heuristic: a dependence mark of "2" may
     /// only be chosen when it is the first mark in its column.
@@ -98,7 +97,7 @@ pub enum CycleDetection {
 }
 
 /// Macro-op detection/formation parameters (Sections 4 and 5).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MopConfig {
     /// Maximum instructions per MOP. The paper evaluates 2 ("2x MOP");
     /// larger sizes implement its future-work configurations and require
@@ -135,7 +134,7 @@ impl Default for MopConfig {
 
 /// Full scheduler configuration handed to the issue queue and formation
 /// logic.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchedConfig {
     /// Scheduling-loop model.
     pub kind: SchedulerKind,

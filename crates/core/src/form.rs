@@ -104,7 +104,7 @@ struct Pending {
 }
 
 /// Aggregate formation statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FormStats {
     /// Pairs successfully fused.
     pub fused_pairs: u64,

@@ -28,8 +28,6 @@
 //! name space (Section 5.3.2) — and re-broadcasts when the data arrives,
 //! plus the configured replay penalty.
 
-use std::collections::HashMap;
-
 use mos_isa::FuKind;
 
 use crate::config::{SchedConfig, SchedulerKind};
@@ -124,6 +122,109 @@ struct TagState {
     load_unresolved: bool,
 }
 
+/// Dense tag-state table. Tags are allocated by rename/formation from a
+/// monotonic counter and never reused, so states live in a flat vector
+/// indexed by `tag - base` instead of a hash map; pruning clears stale
+/// slots and advances `base` over the dead prefix. A tag outside the
+/// window (or with a cleared slot) is architecturally long done —
+/// consumers treat it as ready.
+#[derive(Debug, Clone, Default)]
+struct TagTable {
+    /// Tag number of `slots[0]`.
+    base: u64,
+    slots: Vec<Option<TagState>>,
+}
+
+impl TagTable {
+    fn idx(&self, t: Tag) -> Option<usize> {
+        t.0.checked_sub(self.base).map(|d| d as usize)
+    }
+
+    fn get(&self, t: Tag) -> Option<&TagState> {
+        self.idx(t)
+            .and_then(|i| self.slots.get(i))
+            .and_then(Option::as_ref)
+    }
+
+    fn get_mut(&mut self, t: Tag) -> Option<&mut TagState> {
+        let i = self.idx(t)?;
+        self.slots.get_mut(i).and_then(Option::as_mut)
+    }
+
+    fn contains(&self, t: Tag) -> bool {
+        self.get(t).is_some()
+    }
+
+    /// Raw slot for `t`, growing the table as needed. `None` only for
+    /// tags below the pruned floor; those are unreachable in practice
+    /// (re-broadcasts happen within the confirm window, pruning keeps a
+    /// 4096-cycle horizon) and their consumers already see them as ready.
+    fn slot(&mut self, t: Tag) -> Option<&mut Option<TagState>> {
+        let i = self.idx(t)?;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        Some(&mut self.slots[i])
+    }
+
+    fn insert(&mut self, t: Tag, s: TagState) {
+        if let Some(slot) = self.slot(t) {
+            *slot = Some(s);
+        }
+    }
+
+    /// The state for `t`, created default if absent (the old
+    /// `entry(t).or_default()`).
+    fn ensure(&mut self, t: Tag) -> Option<&mut TagState> {
+        let slot = self.slot(t)?;
+        Some(slot.get_or_insert_with(TagState::default))
+    }
+
+    fn remove(&mut self, t: Tag) {
+        if let Some(i) = self.idx(t) {
+            if let Some(slot) = self.slots.get_mut(i) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Wakeup visible to select logic; absent tags are long done.
+    fn ready(&self, t: Tag, now: u64) -> bool {
+        match self.get(t) {
+            None => true,
+            Some(s) => s.ready_at.is_some_and(|r| r <= now),
+        }
+    }
+
+    /// Value actually available (grant-time verification).
+    fn actually_ready(&self, t: Tag, now: u64) -> bool {
+        match self.get(t) {
+            None => true,
+            Some(s) => s.actual_at.is_some_and(|r| r <= now),
+        }
+    }
+
+    /// Clear states whose wakeup is older than `horizon`, then advance
+    /// the floor over the cleared prefix so the vector stays bounded.
+    fn prune(&mut self, now: u64, horizon: u64) {
+        for slot in &mut self.slots {
+            let keep = slot.as_ref().is_some_and(|s| {
+                s.load_unresolved
+                    || s.ready_at.is_none()
+                    || s.ready_at.is_some_and(|r| r + horizon >= now)
+            });
+            if !keep {
+                *slot = None;
+            }
+        }
+        let dead = self.slots.iter().take_while(|s| s.is_none()).count();
+        if dead > 0 {
+            self.slots.drain(..dead);
+            self.base += dead as u64;
+        }
+    }
+}
+
 /// One issue decision returned by [`IssueQueue::cycle`].
 #[derive(Debug, Clone)]
 pub struct Issued {
@@ -138,7 +239,7 @@ pub struct Issued {
 }
 
 /// Aggregate queue statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueueStats {
     /// Entries selected.
     pub issued_entries: u64,
@@ -190,7 +291,7 @@ pub struct IssueQueue {
     config: SchedConfig,
     entries: Vec<Option<Entry>>,
     free: Vec<usize>,
-    tags: HashMap<Tag, TagState>,
+    tags: TagTable,
     now: u64,
     next_gen: u64,
     /// Issue slots and FUs consumed this cycle by MOP tails issued last
@@ -198,6 +299,10 @@ pub struct IssueQueue {
     slots_blocked: usize,
     fu_blocked: [usize; 5],
     stats: QueueStats,
+    /// Reusable request-phase scratch (hoisted out of the per-cycle loop).
+    req_buf: Vec<(UopId, usize)>,
+    /// Reusable replay work list.
+    work_buf: Vec<Tag>,
 }
 
 impl IssueQueue {
@@ -209,12 +314,14 @@ impl IssueQueue {
         IssueQueue {
             entries: (0..cap).map(|_| None).collect(),
             free: (0..cap).rev().collect(),
-            tags: HashMap::new(),
+            tags: TagTable::default(),
             now: 0,
             next_gen: 1,
             slots_blocked: 0,
             fu_blocked: [0; 5],
             stats: QueueStats::default(),
+            req_buf: Vec::new(),
+            work_buf: Vec::new(),
             config,
         }
     }
@@ -256,7 +363,7 @@ impl IssueQueue {
         uop.srcs
             .iter()
             .copied()
-            .filter(|t| self.tags.contains_key(t))
+            .filter(|&t| self.tags.contains(t))
             .collect()
     }
 
@@ -373,23 +480,21 @@ impl IssueQueue {
             .is_some_and(|e| e.gen == id.gen && e.pending_tail)
     }
 
-    fn tag_ready(&self, t: Tag, now: u64) -> bool {
-        match self.tags.get(&t) {
-            None => true,
-            Some(s) => s.ready_at.is_some_and(|r| r <= now),
-        }
-    }
-
-    fn tag_actually_ready(&self, t: Tag, now: u64) -> bool {
-        match self.tags.get(&t) {
-            None => true,
-            Some(s) => s.actual_at.is_some_and(|r| r <= now),
-        }
-    }
-
     /// Advance one cycle. `now` must increase by exactly one between
     /// calls (the first call sets the epoch). Returns the entries issued.
+    ///
+    /// Allocates the result vector; the hot simulator loop uses
+    /// [`IssueQueue::cycle_into`] with a reusable buffer instead.
     pub fn cycle(&mut self, now: u64) -> Vec<Issued> {
+        let mut out = Vec::new();
+        self.cycle_into(now, &mut out);
+        out
+    }
+
+    /// Advance one cycle, clearing `out` and appending this cycle's issue
+    /// decisions to it.
+    pub fn cycle_into(&mut self, now: u64, out: &mut Vec<Issued>) {
+        out.clear();
         debug_assert!(
             self.stats.cycles == 0 || now == self.now + 1,
             "cycles must be consecutive"
@@ -421,7 +526,7 @@ impl IssueQueue {
                 if e.state != EntryState::Waiting || e.pending_tail || e.spec_broadcast {
                     continue;
                 }
-                if !e.srcs.iter().all(|&t| self.tag_ready(t, now)) {
+                if !e.srcs.iter().all(|&t| self.tags.ready(t, now)) {
                     continue;
                 }
                 let lat = u64::from(e.latency(&self.config).max(1));
@@ -431,15 +536,17 @@ impl IssueQueue {
                     e.spec_broadcast = true;
                 }
                 if let Some(d) = dst {
-                    let s = self.tags.entry(d).or_default();
-                    s.ready_at = Some(now + lat);
-                    s.load_unresolved = is_load;
+                    if let Some(s) = self.tags.ensure(d) {
+                        s.ready_at = Some(now + lat);
+                        s.load_unresolved = is_load;
+                    }
                 }
             }
         }
 
-        // Request phase.
-        let mut requesters: Vec<(UopId, usize)> = Vec::new();
+        // Request phase (the scratch vector is queue-owned and reused).
+        let mut requesters = std::mem::take(&mut self.req_buf);
+        requesters.clear();
         for idx in 0..self.entries.len() {
             let Some(e) = self.entries[idx].as_ref() else {
                 continue;
@@ -447,7 +554,7 @@ impl IssueQueue {
             if e.state != EntryState::Waiting || e.pending_tail || e.hold_until > now {
                 continue;
             }
-            if e.srcs.iter().all(|&t| self.tag_ready(t, now)) {
+            if e.srcs.iter().all(|&t| self.tags.ready(t, now)) {
                 requesters.push((e.age, idx));
             }
         }
@@ -462,19 +569,9 @@ impl IssueQueue {
         }
         let mut slots_next = 0usize;
         let mut fu_next = [0usize; 5];
-        let mut issued = Vec::new();
 
-        for (_, idx) in requesters {
-            let (fu, is_mop, lat, dst, srcs) = {
-                let e = self.entries[idx].as_ref().expect("requester exists");
-                (
-                    e.fu,
-                    e.is_mop(),
-                    u64::from(e.latency(&self.config)),
-                    e.dst,
-                    e.srcs.clone(),
-                )
-            };
+        for &(_, idx) in &requesters {
+            let fu = self.entries[idx].as_ref().expect("requester exists").fu;
             if width == 0 || fu_avail[fu.index()] == 0 {
                 self.note_collision(idx);
                 continue;
@@ -484,7 +581,8 @@ impl IssueQueue {
             // the parents really issued; a failed verification wastes the
             // issue slot and the instruction simply retries next cycle.
             if self.config.kind == SchedulerKind::SpeculativeWakeup {
-                let stale = srcs.iter().any(|&t| !self.tag_actually_ready(t, now));
+                let e = self.entries[idx].as_ref().expect("requester exists");
+                let stale = e.srcs.iter().any(|&t| !self.tags.actually_ready(t, now));
                 if stale {
                     width -= 1;
                     self.stats.spec_wakeup_cancels += 1;
@@ -494,21 +592,22 @@ impl IssueQueue {
 
             // Scoreboard pileup check: did every producer actually deliver?
             if self.config.kind == SchedulerKind::SelectFreeScoreboard {
-                let stale: Vec<Tag> = srcs
-                    .iter()
-                    .copied()
-                    .filter(|&t| !self.tag_actually_ready(t, now))
-                    .collect();
-                if !stale.is_empty() {
+                let e = self.entries[idx].as_ref().expect("requester exists");
+                let stale = e.srcs.iter().any(|&t| !self.tags.actually_ready(t, now));
+                if stale {
                     // The pileup victim consumed an issue slot and an FU,
                     // is caught in the register-read stage and replayed.
                     width -= 1;
                     fu_avail[fu.index()] -= 1;
                     self.stats.pileup_replays += 1;
-                    for t in stale {
-                        if let Some(s) = self.tags.get_mut(&t) {
-                            // Un-broadcast the stale wakeup for everyone.
-                            s.ready_at = s.actual_at;
+                    for &t in &e.srcs {
+                        // Un-broadcast every stale wakeup for everyone
+                        // (entries and tags are disjoint borrows; no
+                        // source-list clone needed).
+                        if let Some(s) = self.tags.get_mut(t) {
+                            if s.actual_at.is_none_or(|r| r > now) {
+                                s.ready_at = s.actual_at;
+                            }
                         }
                     }
                     let penalty = u64::from(self.config.replay_penalty);
@@ -521,46 +620,46 @@ impl IssueQueue {
 
             width -= 1;
             fu_avail[fu.index()] -= 1;
-            if is_mop {
+
+            // Broadcast the destination tag.
+            let e = self.entries[idx].as_ref().expect("requester exists");
+            let lat = u64::from(e.latency(&self.config));
+            if e.is_mop() {
                 slots_next += 1;
                 fu_next[fu.index()] += 1;
             }
-
-            // Broadcast the destination tag.
-            let floor = u64::from(self.config.kind.wakeup_floor());
-            let is_load = {
-                let e = self.entries[idx].as_ref().expect("entry exists");
-                e.uops.iter().any(|u| u.is_load)
-            };
-            if let Some(d) = dst {
-                let collided = self.entries[idx].as_ref().expect("entry").collided;
-                let s = self.tags.entry(d).or_default();
-                s.actual_at = Some(now + lat.max(1));
-                s.load_unresolved = is_load;
-                if select_free {
-                    match self.config.kind {
-                        SchedulerKind::SelectFreeSquashDep => {
-                            // Dependents were squashed when we collided;
-                            // re-broadcast now with the re-wake penalty.
-                            if collided {
-                                s.ready_at = Some(now + lat.max(1) + 1);
-                            } else if s.ready_at.is_none() {
-                                s.ready_at = Some(now + lat.max(1));
+            if let Some(d) = e.dst {
+                let is_load = e.uops.iter().any(|u| u.is_load);
+                let collided = e.collided;
+                let floor = u64::from(self.config.kind.wakeup_floor());
+                if let Some(s) = self.tags.ensure(d) {
+                    s.actual_at = Some(now + lat.max(1));
+                    s.load_unresolved = is_load;
+                    if select_free {
+                        match self.config.kind {
+                            SchedulerKind::SelectFreeSquashDep => {
+                                // Dependents were squashed when we collided;
+                                // re-broadcast now with the re-wake penalty.
+                                if collided {
+                                    s.ready_at = Some(now + lat.max(1) + 1);
+                                } else if s.ready_at.is_none() {
+                                    s.ready_at = Some(now + lat.max(1));
+                                }
                             }
-                        }
-                        SchedulerKind::SelectFreeScoreboard
-                        | SchedulerKind::SpeculativeWakeup => {
-                            // Keep the (possibly stale-early) speculative
-                            // wakeup; grant-time verification absorbs the
-                            // damage.
-                            if s.ready_at.is_none() {
-                                s.ready_at = Some(now + lat.max(1));
+                            SchedulerKind::SelectFreeScoreboard
+                            | SchedulerKind::SpeculativeWakeup => {
+                                // Keep the (possibly stale-early) speculative
+                                // wakeup; grant-time verification absorbs the
+                                // damage.
+                                if s.ready_at.is_none() {
+                                    s.ready_at = Some(now + lat.max(1));
+                                }
                             }
+                            _ => unreachable!("select_free implies a wakeup-speculating kind"),
                         }
-                        _ => unreachable!("select_free implies a wakeup-speculating kind"),
+                    } else {
+                        s.ready_at = Some(now + lat.max(floor));
                     }
-                } else {
-                    s.ready_at = Some(now + lat.max(floor));
                 }
             }
 
@@ -570,7 +669,7 @@ impl IssueQueue {
                 Some(now + u64::from(self.config.confirm_window) + (e.uops.len() as u64 - 1));
             self.stats.issued_entries += 1;
             self.stats.issued_uops += e.uops.len() as u64;
-            issued.push(Issued {
+            out.push(Issued {
                 entry: EntryId {
                     index: idx,
                     gen: e.gen,
@@ -580,9 +679,9 @@ impl IssueQueue {
             });
         }
 
+        self.req_buf = requesters;
         self.slots_blocked = slots_next;
         self.fu_blocked = fu_next;
-        issued
     }
 
     /// A woken requester denied selection this cycle: in squash-dep mode
@@ -600,7 +699,7 @@ impl IssueQueue {
         };
         if self.config.kind == SchedulerKind::SelectFreeSquashDep && first {
             if let Some(d) = dst {
-                if let Some(s) = self.tags.get_mut(&d) {
+                if let Some(s) = self.tags.get_mut(d) {
                     s.ready_at = None; // squash dependents' wakeups
                 }
             }
@@ -613,25 +712,41 @@ impl IssueQueue {
     /// the uops pulled back for replay so the caller can invalidate any
     /// in-flight execution bookkeeping for them.
     pub fn load_resolved(&mut self, tag: Tag, hit: bool, data_ready_at: u64) -> Vec<UopId> {
-        let Some(s) = self.tags.get_mut(&tag) else {
-            return Vec::new();
+        let mut out = Vec::new();
+        self.load_resolved_into(tag, hit, data_ready_at, &mut out);
+        out
+    }
+
+    /// [`IssueQueue::load_resolved`] without allocating the result: `out`
+    /// is cleared and filled with the replayed uop ids.
+    pub fn load_resolved_into(
+        &mut self,
+        tag: Tag,
+        hit: bool,
+        data_ready_at: u64,
+        out: &mut Vec<UopId>,
+    ) {
+        out.clear();
+        let Some(s) = self.tags.get_mut(tag) else {
+            return;
         };
         s.load_unresolved = false;
         if hit {
-            return Vec::new();
+            return;
         }
         let ready = data_ready_at + u64::from(self.config.replay_penalty);
         s.ready_at = Some(ready);
         s.actual_at = Some(ready);
-        self.replay_consumers(tag)
+        self.replay_consumers(tag, out);
     }
 
     /// Recursively pull issued-but-unconfirmed consumers of `tag` back to
-    /// the waiting state, revoking their own broadcasts. Returns the
-    /// replayed uop ids.
-    fn replay_consumers(&mut self, tag: Tag) -> Vec<UopId> {
-        let mut replayed = Vec::new();
-        let mut work = vec![tag];
+    /// the waiting state, revoking their own broadcasts. Appends the
+    /// replayed uop ids to `replayed`.
+    fn replay_consumers(&mut self, tag: Tag, replayed: &mut Vec<UopId>) {
+        let mut work = std::mem::take(&mut self.work_buf);
+        work.clear();
+        work.push(tag);
         while let Some(t) = work.pop() {
             for idx in 0..self.entries.len() {
                 let replay = self.entries[idx]
@@ -648,7 +763,7 @@ impl IssueQueue {
                 self.stats.load_replay_uops += e.uops.len() as u64;
                 replayed.extend(e.uops.iter().map(|u| u.id));
                 if let Some(d) = e.dst {
-                    if let Some(s) = self.tags.get_mut(&d) {
+                    if let Some(s) = self.tags.get_mut(d) {
                         s.ready_at = None;
                         s.actual_at = None;
                     }
@@ -656,7 +771,7 @@ impl IssueQueue {
                 }
             }
         }
-        replayed
+        self.work_buf = work;
     }
 
     /// Branch-misprediction squash: remove every entry whose head uop is
@@ -673,7 +788,7 @@ impl IssueQueue {
             if e.age >= first_squashed {
                 // Whole entry is wrong-path.
                 if let Some(d) = e.dst {
-                    self.tags.remove(&d);
+                    self.tags.remove(d);
                 }
                 self.entries[idx] = None;
                 self.free.push(idx);
@@ -698,29 +813,31 @@ impl IssueQueue {
     /// currently revoked. Used by the simulator's last-arriving-operand
     /// filter (Section 5.4.2).
     pub fn tag_ready_time(&self, t: Tag) -> Option<u64> {
-        self.tags.get(&t).and_then(|s| s.ready_at)
+        self.tags.get(t).and_then(|s| s.ready_at)
     }
 
     /// Drop tag bookkeeping whose wakeup is older than `horizon` cycles;
     /// safe once every consumer that could name those tags has been
     /// inserted. The simulator calls this periodically.
     pub fn prune_tags(&mut self, horizon: u64) {
-        let now = self.now;
-        self.tags.retain(|_, s| {
-            s.load_unresolved
-                || s.ready_at.is_none()
-                || s.ready_at.is_some_and(|r| r + horizon >= now)
-        });
+        self.tags.prune(self.now, horizon);
     }
 
     #[cfg(test)]
     fn force_external_tag(&mut self, tag: Tag) {
         self.tags.insert(tag, TagState::default());
     }
+
+    #[cfg(test)]
+    fn tracks_tag(&self, tag: Tag) -> bool {
+        self.tags.contains(tag)
+    }
 }
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashMap;
+
     use super::*;
     use crate::config::WakeupStyle;
     use mos_isa::InstClass;
@@ -996,8 +1113,8 @@ mod tests {
         q.insert(alu(5, Some(105), &[99])).unwrap();
         q.squash_from(UopId(3));
         assert_eq!(q.occupancy(), 1);
-        assert!(q.tags.contains_key(&Tag(100)), "survivor tag kept");
-        assert!(!q.tags.contains_key(&Tag(105)), "squashed tag removed");
+        assert!(q.tracks_tag(Tag(100)), "survivor tag kept");
+        assert!(!q.tracks_tag(Tag(105)), "squashed tag removed");
     }
 
     #[test]
@@ -1131,7 +1248,7 @@ mod tests {
         }
         q.prune_tags(2);
         assert!(
-            q.tags.contains_key(&Tag(100)),
+            q.tracks_tag(Tag(100)),
             "unresolved load tag must survive pruning"
         );
     }

@@ -18,7 +18,7 @@ use std::fmt;
 use mos_core::{CycleDetection, WakeupStyle};
 use mos_sim::MachineConfig;
 
-use crate::runner;
+use crate::runner::{self, Job};
 
 /// Benchmarks used for the ablations (a representative spread: the most
 /// scheduler-sensitive, the long-distance case, the queue-pressure case
@@ -67,17 +67,27 @@ fn mop_cfg(stages: u32) -> MachineConfig {
     MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), stages)
 }
 
+/// Run one `(reference, variants...)` config set per ablation benchmark
+/// and return, per benchmark, the stats in config order.
+fn run_arms(cfgs: &[MachineConfig], insts: u64, jobs: usize) -> Vec<Vec<mos_sim::SimStats>> {
+    let grid: Vec<Job> = ABLATION_BENCHES
+        .iter()
+        .flat_map(|&b| cfgs.iter().map(move |c| Job::new(b, c.clone(), insts)))
+        .collect();
+    runner::run_jobs(&grid, jobs)
+        .chunks_exact(cfgs.len())
+        .map(<[mos_sim::SimStats]>::to_vec)
+        .collect()
+}
+
 /// Detection delay: 3 (reference) vs 100 cycles.
-pub fn detection_delay(insts: u64) -> Ablation {
+pub fn detection_delay_with(insts: u64, jobs: usize) -> Ablation {
+    let mut slow_cfg = mop_cfg(1);
+    slow_cfg.sched.mop.detection_delay = 100;
     let rows = ABLATION_BENCHES
         .iter()
-        .map(|&b| {
-            let fast = runner::run_benchmark(b, mop_cfg(1), insts).ipc();
-            let mut slow_cfg = mop_cfg(1);
-            slow_cfg.sched.mop.detection_delay = 100;
-            let slow = runner::run_benchmark(b, slow_cfg, insts).ipc();
-            (b.to_owned(), fast, vec![slow])
-        })
+        .zip(run_arms(&[mop_cfg(1), slow_cfg], insts, jobs))
+        .map(|(&b, s)| (b.to_owned(), s[0].ipc(), vec![s[1].ipc()]))
         .collect();
     Ablation {
         name: "MOP detection delay (3 cycles -> 100 cycles); paper: avg -0.22 %, worst -0.76 %"
@@ -89,14 +99,16 @@ pub fn detection_delay(insts: u64) -> Ablation {
 }
 
 /// Cycle detection: conservative heuristic (reference) vs precise.
-pub fn cycle_heuristic(insts: u64) -> Ablation {
+pub fn cycle_heuristic_with(insts: u64, jobs: usize) -> Ablation {
+    let mut precise_cfg = mop_cfg(1);
+    precise_cfg.sched.mop.cycle_detection = CycleDetection::Precise;
     let mut rows = Vec::new();
     let mut notes = Vec::new();
-    for &b in &ABLATION_BENCHES {
-        let h = runner::run_benchmark(b, mop_cfg(1), insts);
-        let mut precise_cfg = mop_cfg(1);
-        precise_cfg.sched.mop.cycle_detection = CycleDetection::Precise;
-        let p = runner::run_benchmark(b, precise_cfg, insts);
+    for (&b, s) in ABLATION_BENCHES
+        .iter()
+        .zip(run_arms(&[mop_cfg(1), precise_cfg], insts, jobs))
+    {
+        let (h, p) = (&s[0], &s[1]);
         let ratio = if p.grouped_frac() > 0.0 {
             h.grouped_frac() / p.grouped_frac()
         } else {
@@ -120,16 +132,13 @@ pub fn cycle_heuristic(insts: u64) -> Ablation {
 }
 
 /// Last-arriving-operand filter: on (reference) vs off.
-pub fn last_arrival_filter(insts: u64) -> Ablation {
+pub fn last_arrival_filter_with(insts: u64, jobs: usize) -> Ablation {
+    let mut off_cfg = mop_cfg(1);
+    off_cfg.sched.mop.last_arrival_filter = false;
     let rows = ABLATION_BENCHES
         .iter()
-        .map(|&b| {
-            let on = runner::run_benchmark(b, mop_cfg(1), insts).ipc();
-            let mut off_cfg = mop_cfg(1);
-            off_cfg.sched.mop.last_arrival_filter = false;
-            let off = runner::run_benchmark(b, off_cfg, insts).ipc();
-            (b.to_owned(), on, vec![off])
-        })
+        .zip(run_arms(&[mop_cfg(1), off_cfg], insts, jobs))
+        .map(|(&b, s)| (b.to_owned(), s[0].ipc(), vec![s[1].ipc()]))
         .collect();
     Ablation {
         name: "last-arriving-operand filter: on (reference) vs off (Section 5.4.2)".into(),
@@ -140,14 +149,16 @@ pub fn last_arrival_filter(insts: u64) -> Ablation {
 }
 
 /// Independent MOPs: on (reference) vs off.
-pub fn independent_mops(insts: u64) -> Ablation {
+pub fn independent_mops_with(insts: u64, jobs: usize) -> Ablation {
+    let mut off_cfg = mop_cfg(1);
+    off_cfg.sched.mop.group_independent = false;
     let mut rows = Vec::new();
     let mut notes = Vec::new();
-    for &b in &ABLATION_BENCHES {
-        let on = runner::run_benchmark(b, mop_cfg(1), insts);
-        let mut off_cfg = mop_cfg(1);
-        off_cfg.sched.mop.group_independent = false;
-        let off = runner::run_benchmark(b, off_cfg, insts);
+    for (&b, s) in ABLATION_BENCHES
+        .iter()
+        .zip(run_arms(&[mop_cfg(1), off_cfg], insts, jobs))
+    {
+        let (on, off) = (&s[0], &s[1]);
         notes.push(format!(
             "grouped {:.1}% -> {:.1}% without",
             100.0 * on.grouped_frac(),
@@ -164,22 +175,28 @@ pub fn independent_mops(insts: u64) -> Ablation {
 }
 
 /// MOP sizes 2 (reference), 3 and 4 — the paper's future work.
-pub fn mop_size(insts: u64) -> Ablation {
-    let mut rows = Vec::new();
-    let mut notes = Vec::new();
-    for &b in &ABLATION_BENCHES {
-        let two = runner::run_benchmark(b, mop_cfg(1), insts);
-        let mut arms = Vec::new();
-        let mut sizes_note = format!("grouped {:.1}%", 100.0 * two.grouped_frac());
-        for size in [3usize, 4] {
+pub fn mop_size_with(insts: u64, jobs: usize) -> Ablation {
+    let cfgs: Vec<MachineConfig> = std::iter::once(mop_cfg(1))
+        .chain([3usize, 4].into_iter().map(|size| {
             let mut cfg = mop_cfg(1);
             cfg.sched.mop.max_mop_size = size;
-            let s = runner::run_benchmark(b, cfg, insts);
-            sizes_note.push_str(&format!(" / {:.1}%", 100.0 * s.grouped_frac()));
-            arms.push(s.ipc());
+            cfg
+        }))
+        .collect();
+    let mut rows = Vec::new();
+    let mut notes = Vec::new();
+    for (&b, s) in ABLATION_BENCHES.iter().zip(run_arms(&cfgs, insts, jobs)) {
+        let two = &s[0];
+        let mut sizes_note = format!("grouped {:.1}%", 100.0 * two.grouped_frac());
+        for bigger in &s[1..] {
+            sizes_note.push_str(&format!(" / {:.1}%", 100.0 * bigger.grouped_frac()));
         }
         notes.push(sizes_note);
-        rows.push((b.to_owned(), two.ipc(), arms));
+        rows.push((
+            b.to_owned(),
+            two.ipc(),
+            s[1..].iter().map(mos_sim::SimStats::ipc).collect(),
+        ));
     }
     Ablation {
         name: "MOP size: 2 (reference) vs 3 vs 4 instructions (future work, wired-OR)".into(),
@@ -189,19 +206,49 @@ pub fn mop_size(insts: u64) -> Ablation {
     }
 }
 
-/// Run every ablation and render them.
-pub fn run_all(insts: u64) -> String {
+/// Detection delay study, one worker per core.
+pub fn detection_delay(insts: u64) -> Ablation {
+    detection_delay_with(insts, runner::default_jobs())
+}
+
+/// Cycle-detection study, one worker per core.
+pub fn cycle_heuristic(insts: u64) -> Ablation {
+    cycle_heuristic_with(insts, runner::default_jobs())
+}
+
+/// Last-arrival-filter study, one worker per core.
+pub fn last_arrival_filter(insts: u64) -> Ablation {
+    last_arrival_filter_with(insts, runner::default_jobs())
+}
+
+/// Independent-MOP study, one worker per core.
+pub fn independent_mops(insts: u64) -> Ablation {
+    independent_mops_with(insts, runner::default_jobs())
+}
+
+/// MOP-size study, one worker per core.
+pub fn mop_size(insts: u64) -> Ablation {
+    mop_size_with(insts, runner::default_jobs())
+}
+
+/// Run every ablation across `jobs` worker threads and render them.
+pub fn run_all_with(insts: u64, jobs: usize) -> String {
     [
-        detection_delay(insts),
-        cycle_heuristic(insts),
-        last_arrival_filter(insts),
-        independent_mops(insts),
-        mop_size(insts),
+        detection_delay_with(insts, jobs),
+        cycle_heuristic_with(insts, jobs),
+        last_arrival_filter_with(insts, jobs),
+        independent_mops_with(insts, jobs),
+        mop_size_with(insts, jobs),
     ]
     .iter()
     .map(|a| a.to_string())
     .collect::<Vec<_>>()
     .join("\n")
+}
+
+/// Run every ablation (one worker per core) and render them.
+pub fn run_all(insts: u64) -> String {
+    run_all_with(insts, runner::default_jobs())
 }
 
 #[cfg(test)]

@@ -1,46 +1,76 @@
 //! CLI for regenerating every table and figure of the paper:
 //!
 //! ```text
-//! experiments <table1|table2|fig6|fig7|fig13|fig14|fig15|fig16|ablations|all> [--insts N]
+//! experiments <table1|table2|fig6|fig7|fig13|fig14|fig15|fig16|ablations|extensions|all>
+//!             [--insts N] [--jobs N]
+//! experiments perf [--insts N] [--jobs N] [--out PATH]
 //! ```
+//!
+//! `--jobs N` fans the figure's (benchmark, config) simulations across N
+//! worker threads; `--jobs 1` is the serial path. Output is byte-identical
+//! for any N. `perf` times the full sweep and writes `BENCH_sim.json`.
 
 use std::env;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use mos_experiments::{ablations, extensions, fig13, fig14, fig15, fig16, fig6, fig7, runner, tables};
+use mos_experiments::{
+    ablations, extensions, fig13, fig14, fig15, fig16, fig6, fig7, runner, tables,
+};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <table1|table2|fig6|fig7|fig13|fig14|fig15|fig16|ablations|all> [--insts N]"
+        "usage: experiments <table1|table2|fig6|fig7|fig13|fig14|fig15|fig16|ablations|extensions|all|perf> \
+         [--insts N] [--jobs N] [--out PATH]"
     );
     ExitCode::FAILURE
 }
 
+/// Value of `--<name> <value>`, if present; `Err` on a malformed value.
+fn flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, ()> {
+    match args.iter().position(|a| a == name) {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<T>().ok()) {
+            Some(v) => Ok(Some(v)),
+            None => Err(()),
+        },
+        None => Ok(None),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
-    let Some(what) = args.first() else {
+    let Some(what) = args.first().cloned() else {
         return usage();
     };
-    let insts = match args.iter().position(|a| a == "--insts") {
-        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
-            Some(n) => n,
-            None => return usage(),
-        },
-        None => runner::DEFAULT_INSTS,
+    let Ok(insts) = flag::<u64>(&args, "--insts") else {
+        return usage();
     };
+    let insts = insts.unwrap_or(runner::DEFAULT_INSTS);
+    let Ok(jobs) = flag::<usize>(&args, "--jobs") else {
+        return usage();
+    };
+    let jobs = jobs.unwrap_or_else(runner::default_jobs).max(1);
+
+    if what == "perf" {
+        let Ok(out) = flag::<String>(&args, "--out") else {
+            return usage();
+        };
+        let out = out.unwrap_or_else(|| "BENCH_sim.json".to_owned());
+        return perf(insts, jobs, &out);
+    }
 
     let run_one = |what: &str| -> Option<String> {
         match what {
             "table1" => Some(tables::table1()),
-            "table2" => Some(tables::table2(insts).to_string()),
+            "table2" => Some(tables::table2_with(insts, jobs).to_string()),
             "fig6" => Some(fig6::run(insts as usize).to_string()),
             "fig7" => Some(fig7::run(insts as usize).to_string()),
-            "fig13" => Some(fig13::run(insts).to_string()),
-            "fig14" => Some(fig14::run(insts).to_string()),
-            "fig15" => Some(fig15::run(insts).to_string()),
-            "fig16" => Some(fig16::run(insts).to_string()),
-            "ablations" => Some(ablations::run_all(insts)),
-            "extensions" => Some(extensions::run_all(insts)),
+            "fig13" => Some(fig13::run_with(insts, jobs).to_string()),
+            "fig14" => Some(fig14::run_with(insts, jobs).to_string()),
+            "fig15" => Some(fig15::run_with(insts, jobs).to_string()),
+            "fig16" => Some(fig16::run_with(insts, jobs).to_string()),
+            "ablations" => Some(ablations::run_all_with(insts, jobs)),
+            "extensions" => Some(extensions::run_all_with(insts, jobs)),
             _ => None,
         }
     };
@@ -54,11 +84,87 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    match run_one(what) {
+    match run_one(&what) {
         Some(out) => {
             println!("{out}");
             ExitCode::SUCCESS
         }
         None => usage(),
+    }
+}
+
+/// Time every simulation sweep and write the perf trajectory file.
+fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
+    struct Entry {
+        name: &'static str,
+        wall_seconds: f64,
+        sim_cycles: u64,
+    }
+
+    type Sweep = (&'static str, Box<dyn Fn()>);
+    let sweeps: [Sweep; 7] = [
+        ("table2", Box::new(move || drop(tables::table2_with(insts, jobs)))),
+        ("fig13", Box::new(move || drop(fig13::run_with(insts, jobs)))),
+        ("fig14", Box::new(move || drop(fig14::run_with(insts, jobs)))),
+        ("fig15", Box::new(move || drop(fig15::run_with(insts, jobs)))),
+        ("fig16", Box::new(move || drop(fig16::run_with(insts, jobs)))),
+        ("ablations", Box::new(move || drop(ablations::run_all_with(insts, jobs)))),
+        ("extensions", Box::new(move || drop(extensions::run_all_with(insts, jobs)))),
+    ];
+
+    let mut entries = Vec::new();
+    runner::take_simulated_cycles(); // reset the counter
+    let total_start = Instant::now();
+    for (name, sweep) in &sweeps {
+        let start = Instant::now();
+        sweep();
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let sim_cycles = runner::take_simulated_cycles();
+        eprintln!(
+            "perf: {name:10} {wall_seconds:8.3}s  {sim_cycles:>12} cycles  {:>12.0} cycles/s",
+            sim_cycles as f64 / wall_seconds.max(1e-9)
+        );
+        entries.push(Entry {
+            name,
+            wall_seconds,
+            sim_cycles,
+        });
+    }
+    let total_wall = total_start.elapsed().as_secs_f64();
+    let total_cycles: u64 = entries.iter().map(|e| e.sim_cycles).sum();
+
+    // Hand-rolled JSON: the workspace deliberately has no serde_json.
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"insts_per_sim\": {insts},\n"));
+    json.push_str(&format!("  \"jobs\": {jobs},\n"));
+    json.push_str("  \"figures\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"sim_cycles\": {}, \"cycles_per_sec\": {:.1}}}{}\n",
+            e.name,
+            e.wall_seconds,
+            e.sim_cycles,
+            e.sim_cycles as f64 / e.wall_seconds.max(1e-9),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
+    json.push_str(&format!("  \"total_sim_cycles\": {total_cycles},\n"));
+    json.push_str(&format!(
+        "  \"total_cycles_per_sec\": {:.1}\n",
+        total_cycles as f64 / total_wall.max(1e-9)
+    ));
+    json.push_str("}\n");
+
+    match std::fs::write(out_path, &json) {
+        Ok(()) => {
+            eprintln!("perf: wrote {out_path} ({total_wall:.3}s total, {jobs} jobs)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("perf: cannot write {out_path}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }

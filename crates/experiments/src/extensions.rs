@@ -17,7 +17,25 @@ use mos_core::WakeupStyle;
 use mos_sim::MachineConfig;
 use mos_workload::spec2000;
 
-use crate::runner::{self, geomean};
+use crate::runner::{self, geomean, Job};
+
+/// Run every `(bench, cfg)` pair of a study grid across `jobs` workers,
+/// returning each benchmark's stats in config order.
+fn run_grid(
+    benches: &[&'static str],
+    cfgs: &[MachineConfig],
+    insts: u64,
+    jobs: usize,
+) -> Vec<Vec<mos_sim::SimStats>> {
+    let grid: Vec<Job> = benches
+        .iter()
+        .flat_map(|&b| cfgs.iter().map(move |c| Job::new(b, c.clone(), insts)))
+        .collect();
+    runner::run_jobs(&grid, jobs)
+        .chunks_exact(cfgs.len())
+        .map(<[mos_sim::SimStats]>::to_vec)
+        .collect()
+}
 
 /// A labeled matrix of normalized IPCs: rows are benchmarks, columns arms.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,7 +81,7 @@ impl fmt::Display for Matrix {
 }
 
 /// All pipelined schedulers, normalized to base (32-entry queue).
-pub fn pipelined_schedulers(insts: u64) -> Matrix {
+pub fn pipelined_schedulers_with(insts: u64, jobs: usize) -> Matrix {
     let arms = vec![
         "2-cycle".to_owned(),
         "spec-wake".to_owned(),
@@ -71,28 +89,21 @@ pub fn pipelined_schedulers(insts: u64) -> Matrix {
         "sf-scoreb".to_owned(),
         "MOP-wOR".to_owned(),
     ];
-    let rows = spec2000::names()
-        .into_iter()
-        .map(|name| {
-            let base = runner::run_benchmark(name, MachineConfig::base_32(), insts).ipc();
-            let vals = vec![
-                runner::run_benchmark(name, MachineConfig::two_cycle_32(), insts).ipc() / base,
-                runner::run_benchmark(name, MachineConfig::speculative_wakeup_32(), insts).ipc()
-                    / base,
-                runner::run_benchmark(name, MachineConfig::select_free_squash_dep_32(), insts)
-                    .ipc()
-                    / base,
-                runner::run_benchmark(name, MachineConfig::select_free_scoreboard_32(), insts)
-                    .ipc()
-                    / base,
-                runner::run_benchmark(
-                    name,
-                    MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1),
-                    insts,
-                )
-                .ipc()
-                    / base,
-            ];
+    let cfgs = [
+        MachineConfig::base_32(),
+        MachineConfig::two_cycle_32(),
+        MachineConfig::speculative_wakeup_32(),
+        MachineConfig::select_free_squash_dep_32(),
+        MachineConfig::select_free_scoreboard_32(),
+        MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1),
+    ];
+    let benches = spec2000::names();
+    let rows = benches
+        .iter()
+        .zip(run_grid(&benches, &cfgs, insts, jobs))
+        .map(|(&name, s)| {
+            let base = s[0].ipc();
+            let vals = s[1..].iter().map(|v| v.ipc() / base).collect();
             (name.to_owned(), base, vals)
         })
         .collect();
@@ -105,21 +116,23 @@ pub fn pipelined_schedulers(insts: u64) -> Matrix {
 
 /// Detection scope 4 / 8 (paper) / 16 instructions; reports normalized
 /// IPC with grouping fractions in the labels.
-pub fn detection_scope(insts: u64) -> Matrix {
+pub fn detection_scope_with(insts: u64, jobs: usize) -> Matrix {
     let scopes = [4usize, 8, 16];
     let arms = scopes.iter().map(|s| format!("scope={s}")).collect();
-    let rows = spec2000::names()
-        .into_iter()
-        .map(|name| {
-            let base = runner::run_benchmark(name, MachineConfig::base_32(), insts).ipc();
-            let vals = scopes
-                .iter()
-                .map(|&scope| {
-                    let mut cfg = MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1);
-                    cfg.sched.mop.scope = scope;
-                    runner::run_benchmark(name, cfg, insts).ipc() / base
-                })
-                .collect();
+    let cfgs: Vec<MachineConfig> = std::iter::once(MachineConfig::base_32())
+        .chain(scopes.iter().map(|&scope| {
+            let mut cfg = MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1);
+            cfg.sched.mop.scope = scope;
+            cfg
+        }))
+        .collect();
+    let benches = spec2000::names();
+    let rows = benches
+        .iter()
+        .zip(run_grid(&benches, &cfgs, insts, jobs))
+        .map(|(&name, s)| {
+            let base = s[0].ipc();
+            let vals = s[1..].iter().map(|v| v.ipc() / base).collect();
             (name.to_owned(), base, vals)
         })
         .collect();
@@ -132,32 +145,31 @@ pub fn detection_scope(insts: u64) -> Matrix {
 
 /// Effective window: base vs macro-op IPC across queue sizes, showing the
 /// contention benefit of two instructions per entry.
-pub fn effective_window(insts: u64) -> Matrix {
+pub fn effective_window_with(insts: u64, jobs: usize) -> Matrix {
     let sizes: [Option<usize>; 4] = [Some(12), Some(16), Some(24), Some(32)];
     let arms = sizes
         .iter()
         .map(|s| format!("mop/q{}", s.expect("sized")))
         .collect();
-    let rows = ["gap", "gzip", "parser", "twolf", "mcf", "gcc"]
-        .into_iter()
-        .map(|name| {
-            // Normalize against base at the same queue size, so each
-            // column isolates the macro-op benefit at that size.
-            let base32 = runner::run_benchmark(name, MachineConfig::base_32(), insts).ipc();
-            let vals = sizes
-                .iter()
-                .map(|&q| {
-                    let mut b = MachineConfig::base_32();
-                    b.sched.queue_entries = q;
-                    let base = runner::run_benchmark(name, b, insts).ipc();
-                    let mop = runner::run_benchmark(
-                        name,
-                        MachineConfig::macro_op(WakeupStyle::WiredOr, q, 1),
-                        insts,
-                    )
-                    .ipc();
-                    mop / base
-                })
+    // Config order per benchmark: base-32 first, then a (base@q, mop@q)
+    // pair for each queue size. Normalizing against base at the same
+    // queue size isolates the macro-op benefit at that size.
+    let cfgs: Vec<MachineConfig> = std::iter::once(MachineConfig::base_32())
+        .chain(sizes.iter().flat_map(|&q| {
+            let mut b = MachineConfig::base_32();
+            b.sched.queue_entries = q;
+            [b, MachineConfig::macro_op(WakeupStyle::WiredOr, q, 1)]
+        }))
+        .collect();
+    let benches = ["gap", "gzip", "parser", "twolf", "mcf", "gcc"];
+    let rows = benches
+        .iter()
+        .zip(run_grid(&benches, &cfgs, insts, jobs))
+        .map(|(&name, s)| {
+            let base32 = s[0].ipc();
+            let vals = s[1..]
+                .chunks_exact(2)
+                .map(|pair| pair[1].ipc() / pair[0].ipc())
                 .collect();
             (name.to_owned(), base32, vals)
         })
@@ -174,29 +186,31 @@ pub fn effective_window(insts: u64) -> Matrix {
 /// goes to branches, data memory, and the scheduling loop. Columns are
 /// CPI shares removed by idealizing each subsystem (and by swapping the
 /// 2-cycle scheduler back to atomic under full idealization).
-pub fn cpi_breakdown(insts: u64) -> Matrix {
+pub fn cpi_breakdown_with(insts: u64, jobs: usize) -> Matrix {
     let arms = vec![
         "cpi".to_owned(),
         "branch".to_owned(),
         "memory".to_owned(),
         "schedloop".to_owned(),
     ];
-    let rows = spec2000::names()
-        .into_iter()
-        .map(|name| {
-            let cpi = |cfg: MachineConfig| {
-                1.0 / runner::run_benchmark(name, cfg, insts).ipc().max(1e-9)
-            };
-            let base = cpi(MachineConfig::base_32());
-            let no_branch = cpi(MachineConfig::base_32().with_ideal_branch());
-            let no_mem = cpi(MachineConfig::base_32().with_ideal_memory());
-            // Scheduling-loop share: ideal machine, atomic vs 2-cycle loop.
-            let ideal_base = cpi(MachineConfig::base_32().with_ideal_branch().with_ideal_memory());
-            let ideal_two = cpi(
-                MachineConfig::two_cycle_32()
-                    .with_ideal_branch()
-                    .with_ideal_memory(),
-            );
+    let cfgs = [
+        MachineConfig::base_32(),
+        MachineConfig::base_32().with_ideal_branch(),
+        MachineConfig::base_32().with_ideal_memory(),
+        // Scheduling-loop share: ideal machine, atomic vs 2-cycle loop.
+        MachineConfig::base_32().with_ideal_branch().with_ideal_memory(),
+        MachineConfig::two_cycle_32()
+            .with_ideal_branch()
+            .with_ideal_memory(),
+    ];
+    let benches = spec2000::names();
+    let rows = benches
+        .iter()
+        .zip(run_grid(&benches, &cfgs, insts, jobs))
+        .map(|(&name, s)| {
+            let cpi = |i: usize| 1.0 / s[i].ipc().max(1e-9);
+            let (base, no_branch, no_mem) = (cpi(0), cpi(1), cpi(2));
+            let (ideal_base, ideal_two) = (cpi(3), cpi(4));
             let vals = vec![
                 base,
                 (base - no_branch).max(0.0),
@@ -219,30 +233,47 @@ pub fn cpi_breakdown(insts: u64) -> Matrix {
 /// each benchmark model). Columns report the 2-cycle and macro-op
 /// normalized IPC as mean over seeds; the honest error bars for our
 /// synthetic-workload substitution.
-pub fn seed_sensitivity(insts: u64, seeds: &[u64]) -> Matrix {
+pub fn seed_sensitivity_with(insts: u64, seeds: &[u64], jobs: usize) -> Matrix {
     let arms = vec![
         "2cyc-mean".to_owned(),
         "2cyc-min".to_owned(),
         "mop-mean".to_owned(),
         "mop-min".to_owned(),
     ];
-    let rows = ["gap", "gzip", "parser", "vortex", "eon"]
-        .into_iter()
-        .map(|name| {
-            let spec = spec2000::by_name(name).expect("known benchmark");
+    let benches = ["gap", "gzip", "parser", "vortex", "eon"];
+    // Per benchmark: (base, 2-cycle, MOP) for each seed, flattened.
+    let grid: Vec<Job> = benches
+        .iter()
+        .flat_map(|&name| {
+            seeds.iter().flat_map(move |&seed| {
+                [
+                    Job::with_seed(name, MachineConfig::base_unrestricted(), insts, seed),
+                    Job::with_seed(name, MachineConfig::two_cycle_unrestricted(), insts, seed),
+                    Job::with_seed(
+                        name,
+                        MachineConfig::macro_op(WakeupStyle::WiredOr, None, 0),
+                        insts,
+                        seed,
+                    ),
+                ]
+            })
+        })
+        .collect();
+    let stats = runner::run_jobs(&grid, jobs);
+    let rows = benches
+        .iter()
+        .zip(stats.chunks_exact(3 * seeds.len()))
+        .map(|(&name, s)| {
             let mut two = Vec::new();
             let mut mop = Vec::new();
             let mut base0 = 0.0;
-            for &seed in seeds {
-                let run = |cfg: MachineConfig| {
-                    mos_sim::Simulator::new(cfg, spec.trace(seed)).run(insts).ipc()
-                };
-                let base = run(MachineConfig::base_unrestricted());
+            for triple in s.chunks_exact(3) {
+                let base = triple[0].ipc();
                 if base0 == 0.0 {
                     base0 = base;
                 }
-                two.push(run(MachineConfig::two_cycle_unrestricted()) / base);
-                mop.push(run(MachineConfig::macro_op(WakeupStyle::WiredOr, None, 0)) / base);
+                two.push(triple[1].ipc() / base);
+                mop.push(triple[2].ipc() / base);
             }
             let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
             let min = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
@@ -263,19 +294,49 @@ pub fn seed_sensitivity(insts: u64, seeds: &[u64]) -> Matrix {
     }
 }
 
-/// Run and render all extension studies.
-pub fn run_all(insts: u64) -> String {
+/// Pipelined-scheduler design space, one worker per core.
+pub fn pipelined_schedulers(insts: u64) -> Matrix {
+    pipelined_schedulers_with(insts, runner::default_jobs())
+}
+
+/// Detection-scope study, one worker per core.
+pub fn detection_scope(insts: u64) -> Matrix {
+    detection_scope_with(insts, runner::default_jobs())
+}
+
+/// Effective-window study, one worker per core.
+pub fn effective_window(insts: u64) -> Matrix {
+    effective_window_with(insts, runner::default_jobs())
+}
+
+/// CPI attribution study, one worker per core.
+pub fn cpi_breakdown(insts: u64) -> Matrix {
+    cpi_breakdown_with(insts, runner::default_jobs())
+}
+
+/// Seed-sensitivity study, one worker per core.
+pub fn seed_sensitivity(insts: u64, seeds: &[u64]) -> Matrix {
+    seed_sensitivity_with(insts, seeds, runner::default_jobs())
+}
+
+/// Run and render all extension studies across `jobs` worker threads.
+pub fn run_all_with(insts: u64, jobs: usize) -> String {
     [
-        pipelined_schedulers(insts),
-        detection_scope(insts),
-        effective_window(insts),
-        cpi_breakdown(insts),
-        seed_sensitivity(insts / 2, &[42, 7, 1234]),
+        pipelined_schedulers_with(insts, jobs),
+        detection_scope_with(insts, jobs),
+        effective_window_with(insts, jobs),
+        cpi_breakdown_with(insts, jobs),
+        seed_sensitivity_with(insts / 2, &[42, 7, 1234], jobs),
     ]
     .iter()
     .map(|m| m.to_string())
     .collect::<Vec<_>>()
     .join("\n")
+}
+
+/// Run and render all extension studies (one worker per core).
+pub fn run_all(insts: u64) -> String {
+    run_all_with(insts, runner::default_jobs())
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@ use mos_core::{GroupRole, WakeupStyle};
 use mos_sim::MachineConfig;
 use mos_workload::spec2000;
 
-use crate::runner;
+use crate::runner::{self, Job};
 
 /// Grouping breakdown of committed instructions for one wakeup style.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,27 +63,37 @@ pub struct Fig13Result {
     pub mean_insert_reduction: f64,
 }
 
-/// Run Figure 13 (32-entry queue, 1 extra formation stage, as in the
-/// paper's main configuration).
-pub fn run(insts: u64) -> Fig13Result {
+/// Run Figure 13 across `jobs` worker threads (32-entry queue, 1 extra
+/// formation stage, as in the paper's main configuration).
+pub fn run_with(insts: u64, jobs: usize) -> Fig13Result {
+    let benches = spec2000::names();
+    let grid: Vec<Job> = benches
+        .iter()
+        .flat_map(|&name| {
+            [
+                Job::new(
+                    name,
+                    MachineConfig::macro_op(WakeupStyle::CamTwoSource, Some(32), 1),
+                    insts,
+                ),
+                Job::new(
+                    name,
+                    MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1),
+                    insts,
+                ),
+            ]
+        })
+        .collect();
+    let stats = runner::run_jobs(&grid, jobs);
     let mut rows = Vec::new();
     let mut reductions = Vec::new();
-    for name in spec2000::names() {
-        let cam = runner::run_benchmark(
-            name,
-            MachineConfig::macro_op(WakeupStyle::CamTwoSource, Some(32), 1),
-            insts,
-        );
-        let wor = runner::run_benchmark(
-            name,
-            MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1),
-            insts,
-        );
+    for (&name, pair) in benches.iter().zip(stats.chunks_exact(2)) {
+        let (cam, wor) = (&pair[0], &pair[1]);
         reductions.push(wor.insert_reduction());
         rows.push(Fig13Row {
             bench: name.to_owned(),
-            two_src: RoleShare::from_stats(&cam),
-            wired_or: RoleShare::from_stats(&wor),
+            two_src: RoleShare::from_stats(cam),
+            wired_or: RoleShare::from_stats(wor),
         });
     }
     let mean_insert_reduction = reductions.iter().sum::<f64>() / reductions.len().max(1) as f64;
@@ -91,6 +101,11 @@ pub fn run(insts: u64) -> Fig13Result {
         rows,
         mean_insert_reduction,
     }
+}
+
+/// Run Figure 13 (one worker per core).
+pub fn run(insts: u64) -> Fig13Result {
+    run_with(insts, runner::default_jobs())
 }
 
 impl fmt::Display for Fig13Result {

@@ -9,7 +9,7 @@ use mos_core::WakeupStyle;
 use mos_sim::MachineConfig;
 use mos_workload::spec2000;
 
-use crate::runner::{self, geomean};
+use crate::runner::{self, geomean, Job};
 
 /// IPC relative to base scheduling for one benchmark.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,37 +46,44 @@ impl Fig14Result {
     }
 }
 
-/// Run Figure 14.
-pub fn run(insts: u64) -> Fig14Result {
-    let rows = spec2000::names()
-        .into_iter()
-        .map(|name| {
-            let base =
-                runner::run_benchmark(name, MachineConfig::base_unrestricted(), insts).ipc();
-            let two =
-                runner::run_benchmark(name, MachineConfig::two_cycle_unrestricted(), insts).ipc();
-            let m2 = runner::run_benchmark(
-                name,
-                MachineConfig::macro_op(WakeupStyle::CamTwoSource, None, 0),
-                insts,
-            )
-            .ipc();
-            let mw = runner::run_benchmark(
-                name,
-                MachineConfig::macro_op(WakeupStyle::WiredOr, None, 0),
-                insts,
-            )
-            .ipc();
+/// The four configurations of one Figure 14 row, in column order.
+fn configs() -> [MachineConfig; 4] {
+    [
+        MachineConfig::base_unrestricted(),
+        MachineConfig::two_cycle_unrestricted(),
+        MachineConfig::macro_op(WakeupStyle::CamTwoSource, None, 0),
+        MachineConfig::macro_op(WakeupStyle::WiredOr, None, 0),
+    ]
+}
+
+/// Run Figure 14 across `jobs` worker threads.
+pub fn run_with(insts: u64, jobs: usize) -> Fig14Result {
+    let benches = spec2000::names();
+    let grid: Vec<Job> = benches
+        .iter()
+        .flat_map(|&name| configs().map(|cfg| Job::new(name, cfg, insts)))
+        .collect();
+    let stats = runner::run_jobs(&grid, jobs);
+    let rows = benches
+        .iter()
+        .zip(stats.chunks_exact(configs().len()))
+        .map(|(&name, s)| {
+            let base = s[0].ipc();
             Fig14Row {
                 bench: name.to_owned(),
                 base_ipc: base,
-                two_cycle: two / base,
-                mop_2src: m2 / base,
-                mop_wired_or: mw / base,
+                two_cycle: s[1].ipc() / base,
+                mop_2src: s[2].ipc() / base,
+                mop_wired_or: s[3].ipc() / base,
             }
         })
         .collect();
     Fig14Result { rows }
+}
+
+/// Run Figure 14 (one worker per core).
+pub fn run(insts: u64) -> Fig14Result {
+    run_with(insts, runner::default_jobs())
 }
 
 impl fmt::Display for Fig14Result {
@@ -125,6 +132,15 @@ mod tests {
         assert!(r.mean_mop_wired_or() > r.mean_two_cycle());
         // MOP scheduling lands near base on average (paper: 97.2 %).
         assert!(r.mean_mop_wired_or() > 0.93, "{:.3}", r.mean_mop_wired_or());
+    }
+
+    /// The tentpole guarantee: fanning the grid across worker threads
+    /// must not change a single result relative to the serial path.
+    #[test]
+    fn parallel_jobs_are_deterministic() {
+        let serial = run_with(6_000, 1);
+        let threaded = run_with(6_000, 8);
+        assert_eq!(serial, threaded);
     }
 
     #[test]

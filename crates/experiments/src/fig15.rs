@@ -11,7 +11,7 @@ use mos_core::WakeupStyle;
 use mos_sim::MachineConfig;
 use mos_workload::spec2000;
 
-use crate::runner::{self, geomean};
+use crate::runner::{self, geomean, Job};
 
 /// One benchmark's normalized IPCs under contention.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,34 +43,52 @@ impl Fig15Result {
     }
 }
 
-/// Run Figure 15.
-pub fn run(insts: u64) -> Fig15Result {
-    let rows = spec2000::names()
-        .into_iter()
-        .map(|name| {
-            let base = runner::run_benchmark(name, MachineConfig::base_32(), insts).ipc();
-            let two = runner::run_benchmark(name, MachineConfig::two_cycle_32(), insts).ipc();
-            let sweep = |style: WakeupStyle| -> [f64; 3] {
-                [0u32, 1, 2].map(|stages| {
-                    runner::run_benchmark(
-                        name,
-                        MachineConfig::macro_op(style, Some(32), stages),
-                        insts,
-                    )
-                    .ipc()
-                        / base
-                })
-            };
+/// The eight configurations of one Figure 15 row, in column order:
+/// base, 2-cycle, then 0/1/2 extra stages for each wakeup style.
+fn configs() -> [MachineConfig; 8] {
+    let mop =
+        |style: WakeupStyle, stages: u32| MachineConfig::macro_op(style, Some(32), stages);
+    [
+        MachineConfig::base_32(),
+        MachineConfig::two_cycle_32(),
+        mop(WakeupStyle::CamTwoSource, 0),
+        mop(WakeupStyle::CamTwoSource, 1),
+        mop(WakeupStyle::CamTwoSource, 2),
+        mop(WakeupStyle::WiredOr, 0),
+        mop(WakeupStyle::WiredOr, 1),
+        mop(WakeupStyle::WiredOr, 2),
+    ]
+}
+
+/// Run Figure 15 across `jobs` worker threads.
+pub fn run_with(insts: u64, jobs: usize) -> Fig15Result {
+    let benches = spec2000::names();
+    let grid: Vec<Job> = benches
+        .iter()
+        .flat_map(|&name| configs().map(|cfg| Job::new(name, cfg, insts)))
+        .collect();
+    let stats = runner::run_jobs(&grid, jobs);
+    let rows = benches
+        .iter()
+        .zip(stats.chunks_exact(configs().len()))
+        .map(|(&name, s)| {
+            let base = s[0].ipc();
+            let norm = |i: usize| s[i].ipc() / base;
             Fig15Row {
                 bench: name.to_owned(),
                 base_ipc: base,
-                two_cycle: two / base,
-                mop_2src: sweep(WakeupStyle::CamTwoSource),
-                mop_wired_or: sweep(WakeupStyle::WiredOr),
+                two_cycle: norm(1),
+                mop_2src: [norm(2), norm(3), norm(4)],
+                mop_wired_or: [norm(5), norm(6), norm(7)],
             }
         })
         .collect();
     Fig15Result { rows }
+}
+
+/// Run Figure 15 (one worker per core).
+pub fn run(insts: u64) -> Fig15Result {
+    run_with(insts, runner::default_jobs())
 }
 
 impl fmt::Display for Fig15Result {

@@ -9,7 +9,7 @@ use mos_core::WakeupStyle;
 use mos_sim::MachineConfig;
 use mos_workload::spec2000;
 
-use crate::runner::{self, geomean};
+use crate::runner::{self, geomean, Job};
 
 /// One benchmark's normalized IPCs.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,34 +44,44 @@ impl Fig16Result {
     }
 }
 
-/// Run Figure 16.
-pub fn run(insts: u64) -> Fig16Result {
-    let rows = spec2000::names()
-        .into_iter()
-        .map(|name| {
-            let base = runner::run_benchmark(name, MachineConfig::base_32(), insts).ipc();
-            let sfsd =
-                runner::run_benchmark(name, MachineConfig::select_free_squash_dep_32(), insts)
-                    .ipc();
-            let sfsb =
-                runner::run_benchmark(name, MachineConfig::select_free_scoreboard_32(), insts)
-                    .ipc();
-            let mop = runner::run_benchmark(
-                name,
-                MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1),
-                insts,
-            )
-            .ipc();
+/// The four configurations of one Figure 16 row, in column order.
+fn configs() -> [MachineConfig; 4] {
+    [
+        MachineConfig::base_32(),
+        MachineConfig::select_free_squash_dep_32(),
+        MachineConfig::select_free_scoreboard_32(),
+        MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1),
+    ]
+}
+
+/// Run Figure 16 across `jobs` worker threads.
+pub fn run_with(insts: u64, jobs: usize) -> Fig16Result {
+    let benches = spec2000::names();
+    let grid: Vec<Job> = benches
+        .iter()
+        .flat_map(|&name| configs().map(|cfg| Job::new(name, cfg, insts)))
+        .collect();
+    let stats = runner::run_jobs(&grid, jobs);
+    let rows = benches
+        .iter()
+        .zip(stats.chunks_exact(configs().len()))
+        .map(|(&name, s)| {
+            let base = s[0].ipc();
             Fig16Row {
                 bench: name.to_owned(),
                 base_ipc: base,
-                select_free_squash_dep: sfsd / base,
-                select_free_scoreboard: sfsb / base,
-                mop_wired_or: mop / base,
+                select_free_squash_dep: s[1].ipc() / base,
+                select_free_scoreboard: s[2].ipc() / base,
+                mop_wired_or: s[3].ipc() / base,
             }
         })
         .collect();
     Fig16Result { rows }
+}
+
+/// Run Figure 16 (one worker per core).
+pub fn run(insts: u64) -> Fig16Result {
+    run_with(insts, runner::default_jobs())
 }
 
 impl fmt::Display for Fig16Result {

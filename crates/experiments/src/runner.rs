@@ -1,9 +1,26 @@
-//! Shared experiment plumbing: standard seeds, instruction budgets, and
-//! the run-one-configuration helper every figure uses.
+//! Shared experiment plumbing: standard seeds, instruction budgets, the
+//! run-one-configuration helper every figure uses, and the parallel job
+//! harness that fans independent simulations across cores.
+//!
+//! Parallelism model: each `(benchmark, config)` simulation is one [`Job`];
+//! jobs are independent and each `Simulator` stays single-threaded and
+//! deterministic. [`run_jobs`] executes a job list across worker threads
+//! and assembles results **by job index**, so figure output is
+//! byte-identical for any `--jobs N` (including the serial `--jobs 1`
+//! path, which runs inline without spawning threads).
+//!
+//! Workload caching: the static synthetic program for a `(benchmark,
+//! seed)` pair is generated once and shared via `Arc` (see
+//! [`cached_program`]); every run still gets its own private trace
+//! walker, so sharing cannot leak state between simulations.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use mos_sim::{MachineConfig, Simulator, SimStats};
 use mos_workload::spec2000;
-use mos_workload::WorkloadSpec;
+use mos_workload::{SyntheticProgram, WorkloadSpec};
 
 /// Workload seed used by every experiment (deterministic across
 /// schedulers and runs).
@@ -16,10 +33,148 @@ pub const DEFAULT_INSTS: u64 = 150_000;
 /// A quicker budget for Criterion benches and smoke tests.
 pub const QUICK_INSTS: u64 = 40_000;
 
+/// Number of worker threads to use when the caller does not specify:
+/// one per available core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// One independent simulation: a benchmark under one machine
+/// configuration for a committed-instruction budget.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Benchmark name (one of [`spec2000::names`]).
+    pub bench: &'static str,
+    /// Machine configuration to simulate.
+    pub cfg: MachineConfig,
+    /// Committed-instruction budget.
+    pub insts: u64,
+    /// Workload seed (almost always [`SEED`]; seed-sensitivity studies
+    /// override it).
+    pub seed: u64,
+}
+
+impl Job {
+    /// A job with the standard experiment seed.
+    pub fn new(bench: &'static str, cfg: MachineConfig, insts: u64) -> Job {
+        Job {
+            bench,
+            cfg,
+            insts,
+            seed: SEED,
+        }
+    }
+
+    /// Same, with an explicit workload seed.
+    pub fn with_seed(bench: &'static str, cfg: MachineConfig, insts: u64, seed: u64) -> Job {
+        Job {
+            bench,
+            cfg,
+            insts,
+            seed,
+        }
+    }
+
+    /// Run this job to completion (using the shared program cache).
+    pub fn run(&self) -> SimStats {
+        let spec = spec2000::by_name(self.bench)
+            .unwrap_or_else(|| panic!("unknown benchmark `{}`", self.bench));
+        let program = cached_program(&spec, self.seed);
+        let trace = program.walk(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let stats = Simulator::new(self.cfg.clone(), trace).run(self.insts);
+        SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+        stats
+    }
+}
+
+/// Simulated cycles accumulated across all runs since the last
+/// [`take_simulated_cycles`] call (drives the `experiments perf`
+/// cycles-per-second metric; purely observational).
+static SIM_CYCLES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Read and reset the global simulated-cycle counter.
+pub fn take_simulated_cycles() -> u64 {
+    SIM_CYCLES.swap(0, Ordering::Relaxed)
+}
+
+/// Process-wide cache of generated synthetic programs, keyed by
+/// `(benchmark name, seed)`. The stored spec guards against stale hits:
+/// if a caller mutated the spec (tests do), the program is rebuilt
+/// instead of served from the cache.
+fn cached_program(spec: &WorkloadSpec, seed: u64) -> SyntheticProgram {
+    type ProgramCache = HashMap<(&'static str, u64), (WorkloadSpec, SyntheticProgram)>;
+    static CACHE: OnceLock<Mutex<ProgramCache>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let guard = cache.lock().expect("program cache poisoned");
+        if let Some((cached_spec, program)) = guard.get(&(spec.name, seed)) {
+            if cached_spec == spec {
+                return program.clone(); // clones two Arcs, not the program
+            }
+        }
+    }
+    // Generate outside the lock so other benchmarks' jobs are not
+    // serialized behind this (potentially large) build.
+    let program = spec.build(seed);
+    let mut guard = cache.lock().expect("program cache poisoned");
+    guard
+        .entry((spec.name, seed))
+        .or_insert_with(|| (spec.clone(), program.clone()));
+    program
+}
+
+/// Run every job and return its stats **in job order**, fanning the work
+/// across `jobs` worker threads. `jobs <= 1` runs inline (no threads);
+/// results are identical either way because assembly is by index and each
+/// simulation is self-contained.
+pub fn run_jobs(list: &[Job], jobs: usize) -> Vec<SimStats> {
+    parallel_map(list, jobs, Job::run)
+}
+
+/// Order-preserving parallel map over a slice: applies `f` to every item
+/// using up to `jobs` scoped threads (work-stealing by atomic index) and
+/// returns outputs positionally. `jobs <= 1` degenerates to a plain
+/// serial map with no thread machinery at all.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = jobs.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .unwrap_or_else(|| panic!("job {i} produced no result"))
+        })
+        .collect()
+}
+
 /// Simulate `spec` under `cfg` for `insts` committed instructions.
 pub fn run_config(spec: &WorkloadSpec, cfg: MachineConfig, insts: u64) -> SimStats {
-    let trace = spec.trace(SEED);
-    Simulator::new(cfg, trace).run(insts)
+    let program = cached_program(spec, SEED);
+    let trace = program.walk(SEED ^ 0x9e37_79b9_7f4a_7c15);
+    let stats = Simulator::new(cfg, trace).run(insts);
+    SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+    stats
 }
 
 /// Simulate a benchmark by name.
@@ -70,5 +225,51 @@ mod tests {
     #[should_panic]
     fn unknown_benchmark_panics() {
         run_benchmark("nope", MachineConfig::base_32(), 100);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = parallel_map(&items, 1, |&x| x * x);
+        let threaded = parallel_map(&items, 8, |&x| x * x);
+        assert_eq!(serial, threaded);
+        assert_eq!(serial[7], 49);
+    }
+
+    #[test]
+    fn cached_program_respects_spec_mutation() {
+        let mut spec = spec2000::by_name("gzip").expect("gzip exists");
+        let a = cached_program(&spec, SEED);
+        let b = cached_program(&spec, SEED);
+        // Cache hit: both share the same underlying program allocation.
+        assert!(std::sync::Arc::ptr_eq(&a.program_arc(), &b.program_arc()));
+        spec.body_len += 17;
+        let c = cached_program(&spec, SEED);
+        assert!(!std::sync::Arc::ptr_eq(&a.program_arc(), &c.program_arc()));
+    }
+
+    /// Serving the static program from the cache must yield exactly the
+    /// statistics of a from-scratch generation, for every benchmark.
+    #[test]
+    fn cached_run_matches_fresh_run() {
+        for name in spec2000::names() {
+            let spec = spec2000::by_name(name).expect("known benchmark");
+            let fresh_trace = spec.trace(SEED);
+            let fresh = Simulator::new(MachineConfig::base_32(), fresh_trace).run(2_000);
+            let cached = run_config(&spec, MachineConfig::base_32(), 2_000);
+            assert_eq!(fresh, cached, "{name}: cached program changed the run");
+        }
+    }
+
+    #[test]
+    fn jobs_match_direct_run() {
+        let list = vec![
+            Job::new("gzip", MachineConfig::base_32(), 2_000),
+            Job::new("gap", MachineConfig::two_cycle_32(), 2_000),
+        ];
+        let out = run_jobs(&list, 2);
+        let direct = run_benchmark("gzip", MachineConfig::base_32(), 2_000);
+        assert_eq!(out[0].committed, direct.committed);
+        assert_eq!(out[0].cycles, direct.cycles);
     }
 }

@@ -6,7 +6,7 @@ use std::fmt;
 use mos_sim::MachineConfig;
 use mos_workload::spec2000;
 
-use crate::runner;
+use crate::runner::{self, Job};
 
 /// Render Table 1: the machine configuration in the paper's format.
 pub fn table1() -> String {
@@ -77,18 +77,35 @@ pub struct Table2Result {
     pub insts: u64,
 }
 
-/// Run Table 2: base scheduling IPCs, 32-entry vs unrestricted queue.
-pub fn table2(insts: u64) -> Table2Result {
-    let rows = spec2000::names()
-        .into_iter()
-        .map(|name| Table2Row {
+/// Run Table 2 across `jobs` worker threads: base scheduling IPCs,
+/// 32-entry vs unrestricted queue.
+pub fn table2_with(insts: u64, jobs: usize) -> Table2Result {
+    let benches = spec2000::names();
+    let grid: Vec<Job> = benches
+        .iter()
+        .flat_map(|&name| {
+            [
+                Job::new(name, MachineConfig::base_32(), insts),
+                Job::new(name, MachineConfig::base_unrestricted(), insts),
+            ]
+        })
+        .collect();
+    let stats = runner::run_jobs(&grid, jobs);
+    let rows = benches
+        .iter()
+        .zip(stats.chunks_exact(2))
+        .map(|(&name, s)| Table2Row {
             bench: name.to_owned(),
-            ipc_32: runner::run_benchmark(name, MachineConfig::base_32(), insts).ipc(),
-            ipc_unrestricted: runner::run_benchmark(name, MachineConfig::base_unrestricted(), insts)
-                .ipc(),
+            ipc_32: s[0].ipc(),
+            ipc_unrestricted: s[1].ipc(),
         })
         .collect();
     Table2Result { rows, insts }
+}
+
+/// Run Table 2 (one worker per core).
+pub fn table2(insts: u64) -> Table2Result {
+    table2_with(insts, runner::default_jobs())
 }
 
 impl fmt::Display for Table2Result {

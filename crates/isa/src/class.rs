@@ -1,6 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Latency/resource class of an instruction, mirroring Table 1 of the paper.
 ///
@@ -8,7 +7,7 @@ use serde::{Deserialize, Serialize};
 /// instruction competes for, and whether it is a macro-op grouping candidate
 /// (single-cycle operations only: integer ALU, store address generation and
 /// control instructions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum InstClass {
     /// Single-cycle integer ALU operation.
     IntAlu,
@@ -126,7 +125,7 @@ impl fmt::Display for InstClass {
 /// Functional-unit pool identifiers; pool sizes come from the machine
 /// configuration (Table 1: 4 integer ALUs, 2 FP ALUs, 2 integer MUL/DIV,
 /// 2 FP MUL/DIV, 2 general memory ports).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FuKind {
     /// Integer ALU (also executes branches).
     IntAlu,

@@ -1,6 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::{InstClass, Opcode, Reg};
 
@@ -22,7 +21,7 @@ use crate::{InstClass, Opcode, Reg};
 /// // the zero-register source carries no dependence:
 /// assert_eq!(i.src_regs().count(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct StaticInst {
     opcode: Opcode,
     dst: Option<Reg>,

@@ -1,7 +1,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
 
 use crate::class::InstClass;
 
@@ -10,7 +9,7 @@ use crate::class::InstClass;
 /// The set is deliberately small but covers every latency class of the
 /// paper's machine model (Table 1) plus enough arithmetic/control variety to
 /// write real kernels in `mos-asm`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Opcode {
     // --- single-cycle integer ALU (MOP candidates) ---

@@ -1,7 +1,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::StaticInst;
 
@@ -20,7 +19,7 @@ use crate::StaticInst;
 /// assert_eq!(p.pc_of(top), Program::BASE_PC);
 /// assert!(p.validate().is_ok());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     name: String,
     code: Vec<StaticInst>,

@@ -1,6 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// An architectural register: integer registers `r0..r31` and floating-point
 /// registers `f0..f31`.
@@ -16,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(r.to_string(), "r3");
 /// assert!(Reg::ZERO.is_zero());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(u8);
 
 impl Reg {

@@ -1,6 +1,5 @@
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
 
 use crate::Program;
 
@@ -12,7 +11,7 @@ use crate::Program;
 /// timing simulator needs: correct-path instruction identity and branch
 /// outcomes come from the trace, while *wrong-path* fetch after a
 /// misprediction walks the static program under the branch predictor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynInst {
     /// Static index of the instruction within the program.
     pub sidx: u32,

@@ -1,0 +1,35 @@
+//! Strategies for `Option<T>`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Some` with a given probability.
+pub struct OptionStrategy<S> {
+    inner: S,
+    some_prob: f64,
+}
+
+/// `Some` with probability 0.5 (real proptest defaults to a bias toward
+/// `Some`; an even split exercises both arms just as well).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy {
+        inner,
+        some_prob: 0.5,
+    }
+}
+
+/// `Some` with the given probability.
+pub fn weighted<S: Strategy>(some_prob: f64, inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner, some_prob }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.f64() < self.some_prob {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Sampling strategies over fixed collections.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly from a fixed list of values.
+pub struct Select<T: Clone>(Vec<T>);
+
+/// Uniform choice from `values`.
+///
+/// # Panics
+///
+/// Panics at generation time if `values` is empty.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    Select(values)
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "select over an empty list");
+        let k = rng.int_in(0, self.0.len() as i128 - 1) as usize;
+        self.0[k].clone()
+    }
+}

@@ -4,13 +4,12 @@
 use mos_core::{MopConfig, SchedConfig, SchedulerKind, WakeupStyle};
 use mos_uarch::branch::BranchConfig;
 use mos_uarch::cache::CacheConfig;
-use serde::{Deserialize, Serialize};
 
 /// Full machine configuration. Defaults reproduce Table 1 of the paper:
 /// 4-wide fetch/issue/commit, 128-entry ROB, 32-entry (or unrestricted)
 /// issue queue, the listed functional units, the combined branch
 /// predictor, and the two-level memory system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Instructions fetched per cycle (stops at the first predicted-taken
     /// branch and at I-cache line boundaries).

@@ -2,7 +2,7 @@
 //! delay line, rename/MOP formation, queue insertion, scheduling,
 //! execution events, branch resolution/squash, and in-order commit.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use mos_core::detect::{DetectInst, MopDetector};
 use mos_core::form::{FormedItem, Former, RenamedInst, TableCheckpoint};
@@ -61,6 +61,9 @@ struct RobEntry {
     ghr_cp: u64,
     ras_snap: Option<(usize, Vec<u64>)>,
     table_cp: Option<TableCheckpoint>,
+    /// Scheduling tag broadcast by this uop if it is an in-flight load
+    /// (set at issue, used to steer replay on a miss).
+    load_tag: Option<Tag>,
 }
 
 #[derive(Debug, Clone)]
@@ -102,20 +105,28 @@ pub struct Simulator<T: TraceSource> {
     pointers: MopPointerStore,
     detector: MopDetector,
     former: Former,
-    entry_map: HashMap<u64, EntryId>,
+    /// Pending MOP heads awaiting their tail, `(pair id, entry)`. Only a
+    /// handful are ever live at once (pairs fuse within a fetch group or
+    /// two), so a linear-scanned vector beats a hash map here.
+    entry_map: Vec<(u64, EntryId)>,
 
     // Back end.
     queue: IssueQueue,
     rob: VecDeque<RobEntry>,
     events: BTreeMap<u64, Vec<Ev>>,
-    store_inflight: HashMap<u64, u32>,
-    /// Scheduling tag broadcast by each in-flight load (for replay).
-    load_tags: HashMap<UopId, Tag>,
+    /// In-flight store addresses (8-byte aligned) with refcounts, for
+    /// store-to-load forwarding. Bounded by ROB stores; linear scan.
+    store_inflight: Vec<(u64, u32)>,
 
     now: u64,
     last_commit_cycle: u64,
     stats: SimStats,
     timeline: Option<Timeline>,
+
+    // Reusable per-cycle scratch (hoisted out of the hot loop).
+    issue_buf: Vec<Issued>,
+    replay_buf: Vec<UopId>,
+    detect_buf: Vec<DetectInst>,
 }
 
 impl<T: TraceSource> Simulator<T> {
@@ -142,16 +153,18 @@ impl<T: TraceSource> Simulator<T> {
                 cfg.fetch_width,
             ),
             former: Former::new(cfg.mops_enabled(), cfg.sched.mop.max_mop_size),
-            entry_map: HashMap::new(),
+            entry_map: Vec::new(),
             queue: IssueQueue::new(cfg.sched.clone()),
             rob: VecDeque::new(),
             events: BTreeMap::new(),
-            store_inflight: HashMap::new(),
-            load_tags: HashMap::new(),
+            store_inflight: Vec::new(),
             now: 0,
             last_commit_cycle: 0,
             stats: SimStats::default(),
             timeline: None,
+            issue_buf: Vec::new(),
+            replay_buf: Vec::new(),
+            detect_buf: Vec::new(),
             oracle_done: false,
             program,
             trace,
@@ -236,10 +249,12 @@ impl<T: TraceSource> Simulator<T> {
 
         // 3. Wakeup/select.
         self.pointers.tick(now);
-        let issued = self.queue.cycle(now);
-        for iss in issued {
+        let mut issued = std::mem::take(&mut self.issue_buf);
+        self.queue.cycle_into(now, &mut issued);
+        for iss in &issued {
             self.handle_issue(iss);
         }
+        self.issue_buf = issued;
 
         // 4. In-order commit.
         self.commit_stage();
@@ -426,7 +441,8 @@ impl<T: TraceSource> Simulator<T> {
         }
         let group = self.front.pop_front().expect("checked above");
 
-        let mut detect_group: Vec<DetectInst> = Vec::new();
+        let mut detect_group = std::mem::take(&mut self.detect_buf);
+        detect_group.clear();
         self.former.begin_group();
         for fi in &group.insts {
             let inst = *self.program.inst(fi.sidx).expect("fetched inst exists");
@@ -479,12 +495,17 @@ impl<T: TraceSource> Simulator<T> {
                 ghr_cp: fi.ghr_cp,
                 ras_snap: fi.ras_snap.clone(),
                 table_cp,
+                load_tag: None,
             });
 
             // Track in-flight store addresses for forwarding.
             if inst.class() == InstClass::Store {
                 if let Some(addr) = fi.dyn_.and_then(|d| d.eff_addr) {
-                    *self.store_inflight.entry(addr & !7).or_insert(0) += 1;
+                    let key = addr & !7;
+                    match self.store_inflight.iter_mut().find(|(a, _)| *a == key) {
+                        Some((_, c)) => *c += 1,
+                        None => self.store_inflight.push((key, 1)),
+                    }
                 }
             }
 
@@ -513,6 +534,7 @@ impl<T: TraceSource> Simulator<T> {
                     .schedule_install(p.head_sidx, p.pointer, p.head_line, ready);
             }
         }
+        self.detect_buf = detect_group;
     }
 
     /// Apply formation steering to the queue; returns the role of the
@@ -531,7 +553,7 @@ impl<T: TraceSource> Simulator<T> {
                         .queue
                         .insert_mop_head(head)
                         .expect("space checked before group");
-                    self.entry_map.insert(pair_id, eid);
+                    self.entry_map.push((pair_id, eid));
                 }
                 FormedItem::TailFuse {
                     tail,
@@ -539,21 +561,27 @@ impl<T: TraceSource> Simulator<T> {
                     chain_more,
                 } => {
                     role = tail.role;
-                    if let Some(&eid) = self.entry_map.get(&pair_id) {
+                    let found = self
+                        .entry_map
+                        .iter()
+                        .position(|&(p, _)| p == pair_id)
+                        .map(|i| (i, self.entry_map[i].1));
+                    if let Some((i, eid)) = found {
                         if self.queue.fuse_tail(eid, tail.clone()).is_err() {
                             // Entry vanished (squash race): insert alone.
                             self.queue.insert(tail).expect("space checked");
                         } else if chain_more {
                             self.queue.mark_pending(eid);
                         } else {
-                            self.entry_map.remove(&pair_id);
+                            self.entry_map.swap_remove(i);
                         }
                     } else {
                         self.queue.insert(tail).expect("space checked");
                     }
                 }
                 FormedItem::Cancel { pair_id } => {
-                    if let Some(eid) = self.entry_map.remove(&pair_id) {
+                    if let Some(i) = self.entry_map.iter().position(|&(p, _)| p == pair_id) {
+                        let (_, eid) = self.entry_map.swap_remove(i);
                         self.queue.cancel_pending(eid);
                     }
                 }
@@ -566,11 +594,11 @@ impl<T: TraceSource> Simulator<T> {
     // Issue & execution
     // ------------------------------------------------------------------
 
-    fn handle_issue(&mut self, iss: Issued) {
+    fn handle_issue(&mut self, iss: &Issued) {
         let is_mop = iss.uops.len() > 1;
         if is_mop {
             self.stats.mop_entries_issued += 1;
-            self.maybe_filter_last_arrival(&iss);
+            self.maybe_filter_last_arrival(iss);
         }
         for (k, uop) in iss.uops.iter().enumerate() {
             let Some(idx) = self.rob_index(uop.id) else {
@@ -594,7 +622,7 @@ impl<T: TraceSource> Simulator<T> {
             };
             if uop.is_load {
                 if let Some(t) = uop.dst {
-                    self.load_tags.insert(uop.id, t);
+                    self.rob[idx].load_tag = Some(t);
                 }
             }
             if let Some(t) = self.timeline.as_mut() {
@@ -665,12 +693,15 @@ impl<T: TraceSource> Simulator<T> {
                     // by) their stale execution: clear the completion and
                     // bump the generation so in-flight Exec/LoadResolve
                     // events from the cancelled issue are dropped.
-                    for rid in self.queue.load_resolved(tag, hit, data_ready) {
+                    let mut replayed = std::mem::take(&mut self.replay_buf);
+                    self.queue.load_resolved_into(tag, hit, data_ready, &mut replayed);
+                    for &rid in &replayed {
                         if let Some(k) = self.rob_index(rid) {
                             self.rob[k].complete_at = None;
                             self.rob[k].issue_gen += 1;
                         }
                     }
+                    self.replay_buf = replayed;
                 }
             }
         }
@@ -694,7 +725,8 @@ impl<T: TraceSource> Simulator<T> {
                 let (latency, hit) = match dyn_.and_then(|d| d.eff_addr) {
                     Some(_) if self.cfg.ideal_memory => (self.cfg.dl1.hit_latency, true),
                     Some(addr) => {
-                        if self.store_inflight.get(&(addr & !7)).copied().unwrap_or(0) > 0 {
+                        let key = addr & !7;
+                        if self.store_inflight.iter().any(|&(a, _)| a == key) {
                             // Store-to-load forwarding: hit-equivalent.
                             self.stats.load_forwards += 1;
                             self.stats.dl1.0 += 1;
@@ -724,11 +756,9 @@ impl<T: TraceSource> Simulator<T> {
                 let issue_cycle = now - u64::from(self.cfg.exec_offset);
                 let data_ready = issue_cycle + 1 + u64::from(latency);
                 let discovery = now + u64::from(self.cfg.dl1.hit_latency);
-                // Find this load's tag: its queue broadcast used the MOP
-                // translation; we recover it through the issue bookkeeping
-                // below (passed via the Exec event's uop would be cleaner,
-                // but the ROB does not store tags; defer to the queue).
-                let tag = self.load_tag_of(id);
+                // This load's broadcast tag (MOP-translated) was recorded
+                // on its ROB entry at issue.
+                let tag = self.rob[idx].load_tag;
                 self.events.entry(discovery).or_default().push(Ev::LoadResolve {
                     id,
                     gen,
@@ -752,12 +782,6 @@ impl<T: TraceSource> Simulator<T> {
                 self.rob[idx].complete_at = Some(now + lat);
             }
         }
-    }
-
-    /// Look up the scheduling tag a load broadcasts. Loads keep their tag
-    /// alive in the queue's tag table until resolved.
-    fn load_tag_of(&self, id: UopId) -> Option<Tag> {
-        self.load_tags.get(&id).copied()
     }
 
     fn resolve_branch(&mut self, idx: usize) {
@@ -787,9 +811,9 @@ impl<T: TraceSource> Simulator<T> {
         while self.rob.back().is_some_and(|b| b.id > id) {
             let b = self.rob.pop_back().expect("checked above");
             // Wrong-path stores never entered store_inflight (no oracle
-            // address), so nothing to unwind there.
+            // address), so nothing to unwind there; the load tag dies with
+            // the ROB entry.
             debug_assert!(b.dyn_.is_none(), "only wrong-path uops are squashed");
-            self.load_tags.remove(&b.id);
         }
         self.front.clear();
         self.entry_map.clear();
@@ -848,10 +872,13 @@ impl<T: TraceSource> Simulator<T> {
                     self.stats.stores += 1;
                     if let Some(addr) = head.dyn_.and_then(|d| d.eff_addr) {
                         // Retire the forwarding entry and write the cache.
-                        if let Some(c) = self.store_inflight.get_mut(&(addr & !7)) {
-                            *c -= 1;
-                            if *c == 0 {
-                                self.store_inflight.remove(&(addr & !7));
+                        let key = addr & !7;
+                        if let Some(i) =
+                            self.store_inflight.iter().position(|&(a, _)| a == key)
+                        {
+                            self.store_inflight[i].1 -= 1;
+                            if self.store_inflight[i].1 == 0 {
+                                self.store_inflight.swap_remove(i);
                             }
                         }
                         self.dl1.access(addr);
@@ -859,7 +886,6 @@ impl<T: TraceSource> Simulator<T> {
                 }
                 _ => {}
             }
-            self.load_tags.remove(&head.id);
         }
     }
 }

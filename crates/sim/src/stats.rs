@@ -7,7 +7,7 @@ use mos_core::queue::QueueStats;
 use mos_core::GroupRole;
 
 /// End-of-run statistics snapshot.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,

@@ -7,7 +7,6 @@
 //! simulator checkpoints and restores it across mispredictions via
 //! [`CombinedPredictor::history`] / [`CombinedPredictor::restore_history`].
 
-use serde::{Deserialize, Serialize};
 
 /// A table of 2-bit saturating counters.
 #[derive(Debug, Clone)]
@@ -44,7 +43,7 @@ impl CounterTable {
 }
 
 /// Configuration for [`CombinedPredictor`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BranchConfig {
     /// Bimodal table entries (power of two).
     pub bimodal_entries: usize,

@@ -3,10 +3,9 @@
 //! (2 cycles), 256KB 4-way 128B-line unified L2 (8 cycles), 100-cycle
 //! main memory.
 
-use serde::{Deserialize, Serialize};
 
 /// Geometry and latency of one cache level.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,

@@ -3,14 +3,13 @@
 //! paper's mechanisms react to. See DESIGN.md for the substitution
 //! rationale and EXPERIMENTS.md for paper-vs-measured comparisons.
 
-use serde::{Deserialize, Serialize};
 
 use crate::synth::{SynthTrace, SyntheticProgram};
 
 /// Instruction-mix fractions of committed instructions; the remainder
 /// after all named classes is single-cycle integer ALU work — i.e. the
 /// value-generating MOP-candidate fraction of Figure 6.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mix {
     /// Integer loads.
     pub load: f64,
@@ -41,7 +40,7 @@ impl Mix {
 /// uniform tail over `8..=long_max` otherwise. Short-dominated specs (gap)
 /// reproduce Figure 6's short bars; tail-heavy specs (vortex) its long
 /// ones.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistanceModel {
     /// Probability the edge is short (geometric).
     pub short_frac: f64,
@@ -52,7 +51,7 @@ pub struct DistanceModel {
 }
 
 /// A synthetic benchmark model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadSpec {
     /// Benchmark name (SPEC CINT2000).
     pub name: &'static str,

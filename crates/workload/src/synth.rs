@@ -84,6 +84,12 @@ impl SyntheticProgram {
         &self.program
     }
 
+    /// The shared static-code allocation (lets callers check whether two
+    /// programs came from the same cache entry).
+    pub fn program_arc(&self) -> Arc<Program> {
+        Arc::clone(&self.program)
+    }
+
     /// Start a committed-path walk (deterministic in `seed`).
     pub fn walk(&self, seed: u64) -> SynthTrace {
         SynthTrace {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything CI and reviewers rely on.
+#   1. release build of the whole workspace
+#   2. full test suite
+#   3. clippy, warnings denied
+# Optional extras with --full: jobs-determinism check + perf snapshot.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, workspace) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+if [[ "${1:-}" == "--full" ]]; then
+    bin=./target/release/experiments
+    echo "== determinism: fig14 --jobs 1 vs --jobs 8 =="
+    "$bin" fig14 --insts 20000 --jobs 1 > /tmp/verify_j1.txt
+    "$bin" fig14 --insts 20000 --jobs 8 > /tmp/verify_j8.txt
+    cmp /tmp/verify_j1.txt /tmp/verify_j8.txt
+    echo "byte-identical"
+
+    echo "== perf snapshot -> BENCH_sim.json =="
+    "$bin" perf --insts 20000
+fi
+
+echo "verify: OK"

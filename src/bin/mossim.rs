@@ -129,7 +129,12 @@ fn config(a: &Args) -> Result<MachineConfig, String> {
             c.sched.queue_entries = q;
             c
         }
-        other => return Err(format!("unknown scheduler `{other}`")),
+        other => {
+            return Err(format!(
+                "unknown scheduler `{other}`; available: base, 2cycle, mop-2src, \
+                 mop-wor, sf-squash, sf-scoreboard, spec-wakeup"
+            ))
+        }
     };
     if a.ideal_branch {
         cfg = cfg.with_ideal_branch();
