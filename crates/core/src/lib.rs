@@ -30,6 +30,7 @@
 
 pub mod config;
 pub mod detect;
+pub mod events;
 pub mod form;
 pub mod pointer;
 pub mod queue;

@@ -31,6 +31,7 @@
 use mos_isa::FuKind;
 
 use crate::config::{SchedConfig, SchedulerKind};
+use crate::events::TraceEvent;
 use crate::uop::{SchedUop, Tag, UopId};
 
 /// Handle to an occupied issue-queue entry (generation-checked).
@@ -38,6 +39,18 @@ use crate::uop::{SchedUop, Tag, UopId};
 pub struct EntryId {
     index: usize,
     gen: u64,
+}
+
+impl EntryId {
+    /// Queue slot index of the entry.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Allocation generation (distinguishes reuses of the same slot).
+    pub fn generation(&self) -> u64 {
+        self.gen
+    }
 }
 
 /// Why an insertion was rejected.
@@ -303,6 +316,13 @@ pub struct IssueQueue {
     req_buf: Vec<(UopId, usize)>,
     /// Reusable replay work list.
     work_buf: Vec<Tag>,
+    /// Event tracing enabled. When `false` (the default) no event value is
+    /// ever constructed — every emission site is behind this one branch.
+    trace: bool,
+    /// Buffered events awaiting [`IssueQueue::drain_trace_into`]. The
+    /// driver owns the cycle stamp (the queue's clock lags the
+    /// simulator's during insertion), so buffered cycles are provisional.
+    trace_buf: Vec<TraceEvent>,
 }
 
 impl IssueQueue {
@@ -322,7 +342,33 @@ impl IssueQueue {
             stats: QueueStats::default(),
             req_buf: Vec::new(),
             work_buf: Vec::new(),
+            trace: false,
+            trace_buf: Vec::new(),
             config,
+        }
+    }
+
+    /// Turn event tracing on or off. Off by default; when off the queue
+    /// does no per-event work at all.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = on;
+        if !on {
+            self.trace_buf.clear();
+        }
+    }
+
+    /// `true` when event tracing is enabled.
+    pub fn tracing(&self) -> bool {
+        self.trace
+    }
+
+    /// Move every buffered trace event into `out`, re-stamping each with
+    /// `cycle` (the driver's clock — the queue buffers events emitted
+    /// while its own clock lags, e.g. during insertion).
+    pub fn drain_trace_into(&mut self, cycle: u64, out: &mut Vec<TraceEvent>) {
+        for mut ev in self.trace_buf.drain(..) {
+            ev.set_cycle(cycle);
+            out.push(ev);
         }
     }
 
@@ -396,6 +442,19 @@ impl IssueQueue {
             self.tags.insert(dst, TagState::default());
         }
         let srcs = self.live_srcs(&uop);
+        if self.trace {
+            self.trace_buf.push(TraceEvent::Rename {
+                cycle: self.now,
+                id: uop.id,
+                sidx: uop.sidx,
+                entry: EntryId { index: idx, gen },
+                dst: uop.dst,
+                srcs: srcs.clone(),
+                fused: false,
+                pending,
+                is_load: uop.is_load,
+            });
+        }
         self.entries[idx] = Some(Entry {
             gen,
             srcs,
@@ -447,6 +506,21 @@ impl IssueQueue {
         // aliases the tail's destination to it, so no new tag is made.
         e.pending_tail = false;
         e.uops.push(tail);
+        if self.trace {
+            let e = self.entries[head.index].as_ref().expect("fused above");
+            let tail = e.uops.last().expect("just pushed");
+            self.trace_buf.push(TraceEvent::Rename {
+                cycle: self.now,
+                id: tail.id,
+                sidx: tail.sidx,
+                entry: head,
+                dst: mop_tag,
+                srcs: e.srcs.clone(),
+                fused: true,
+                pending: false,
+                is_load: tail.is_load,
+            });
+        }
         Ok(())
     }
 
@@ -539,6 +613,14 @@ impl IssueQueue {
                     if let Some(s) = self.tags.ensure(d) {
                         s.ready_at = Some(now + lat);
                         s.load_unresolved = is_load;
+                        if self.trace {
+                            self.trace_buf.push(TraceEvent::Wakeup {
+                                cycle: now,
+                                tag: d,
+                                ready_at: now + lat,
+                                speculative: true,
+                            });
+                        }
                     }
                 }
             }
@@ -633,6 +715,7 @@ impl IssueQueue {
                 let collided = e.collided;
                 let floor = u64::from(self.config.kind.wakeup_floor());
                 if let Some(s) = self.tags.ensure(d) {
+                    let prev_ready = s.ready_at;
                     s.actual_at = Some(now + lat.max(1));
                     s.load_unresolved = is_load;
                     if select_free {
@@ -660,6 +743,14 @@ impl IssueQueue {
                     } else {
                         s.ready_at = Some(now + lat.max(floor));
                     }
+                    if self.trace && s.ready_at != prev_ready {
+                        self.trace_buf.push(TraceEvent::Wakeup {
+                            cycle: now,
+                            tag: d,
+                            ready_at: s.ready_at.expect("broadcast sets a ready time"),
+                            speculative: false,
+                        });
+                    }
                 }
             }
 
@@ -677,6 +768,21 @@ impl IssueQueue {
                 uops: e.uops.clone(),
                 issue_cycle: now,
             });
+            if self.trace {
+                let e = self.entries[idx].as_ref().expect("entry exists");
+                self.trace_buf.push(TraceEvent::Select {
+                    cycle: now,
+                    entry: EntryId {
+                        index: idx,
+                        gen: e.gen,
+                    },
+                    uops: e.uops.iter().map(|u| u.id).collect(),
+                    srcs: e.srcs.clone(),
+                    dst: e.dst,
+                    latency: e.latency(&self.config),
+                    is_load: e.uops.iter().any(|u| u.is_load),
+                });
+            }
         }
 
         self.req_buf = requesters;
@@ -731,19 +837,36 @@ impl IssueQueue {
             return;
         };
         s.load_unresolved = false;
+        if self.trace {
+            self.trace_buf.push(TraceEvent::LoadResolve {
+                cycle: self.now,
+                tag,
+                hit,
+                data_ready: data_ready_at,
+            });
+        }
         if hit {
             return;
         }
         let ready = data_ready_at + u64::from(self.config.replay_penalty);
         s.ready_at = Some(ready);
         s.actual_at = Some(ready);
-        self.replay_consumers(tag, out);
+        if self.trace {
+            self.trace_buf.push(TraceEvent::Wakeup {
+                cycle: self.now,
+                tag,
+                ready_at: ready,
+                speculative: false,
+            });
+        }
+        self.replay_consumers(tag, ready, out);
     }
 
     /// Recursively pull issued-but-unconfirmed consumers of `tag` back to
     /// the waiting state, revoking their own broadcasts. Appends the
-    /// replayed uop ids to `replayed`.
-    fn replay_consumers(&mut self, tag: Tag, replayed: &mut Vec<UopId>) {
+    /// replayed uop ids to `replayed`. `reissue_at` is the missed tag's
+    /// re-broadcast time (trace bookkeeping only).
+    fn replay_consumers(&mut self, tag: Tag, reissue_at: u64, replayed: &mut Vec<UopId>) {
         let mut work = std::mem::take(&mut self.work_buf);
         work.clear();
         work.push(tag);
@@ -768,6 +891,19 @@ impl IssueQueue {
                         s.actual_at = None;
                     }
                     work.push(d);
+                }
+                if self.trace {
+                    let e = self.entries[idx].as_ref().expect("checked above");
+                    self.trace_buf.push(TraceEvent::Replay {
+                        cycle: self.now,
+                        entry: EntryId {
+                            index: idx,
+                            gen: e.gen,
+                        },
+                        uops: e.uops.iter().map(|u| u.id).collect(),
+                        tag: t,
+                        reissue_at,
+                    });
                 }
             }
         }
@@ -1273,5 +1409,119 @@ mod tests {
             q.fuse_tail(e, alu(2, Some(100), &[100])).unwrap_err(),
             InsertError::MopTooLarge
         );
+    }
+
+    #[test]
+    fn tag_table_prune_advances_floor_over_dead_prefix() {
+        let mut t = TagTable::default();
+        for n in 0..8u64 {
+            t.insert(
+                Tag(n),
+                TagState {
+                    ready_at: Some(n),
+                    actual_at: Some(n),
+                    load_unresolved: false,
+                },
+            );
+        }
+        // keep = ready_at + horizon >= now, so only tag 7 survives.
+        t.prune(100, 93);
+        assert_eq!(t.base, 7, "floor advances over the cleared prefix");
+        assert_eq!(t.slots.len(), 1);
+        assert!(t.contains(Tag(7)));
+    }
+
+    #[test]
+    fn tag_table_unresolved_slot_pins_the_floor() {
+        let mut t = TagTable::default();
+        for n in 0..8u64 {
+            t.insert(
+                Tag(n),
+                TagState {
+                    ready_at: Some(n),
+                    actual_at: Some(n),
+                    load_unresolved: n == 3,
+                },
+            );
+        }
+        t.prune(100, 0);
+        assert_eq!(t.base, 3, "an unresolved load stops the prefix sweep");
+        assert!(t.contains(Tag(3)));
+        assert!(!t.contains(Tag(5)), "stale slots after the pin still clear");
+    }
+
+    #[test]
+    fn tag_table_below_floor_reads_as_long_done() {
+        let mut t = TagTable::default();
+        t.insert(
+            Tag(0),
+            TagState {
+                ready_at: Some(0),
+                actual_at: Some(0),
+                load_unresolved: false,
+            },
+        );
+        t.prune(100, 0);
+        assert!(t.base >= 1);
+        // Tags below the pruned floor are architecturally long done:
+        // reads succeed and mutations are silent no-ops, never panics.
+        assert!(t.ready(Tag(0), 0));
+        assert!(t.actually_ready(Tag(0), 0));
+        assert!(t.get(Tag(0)).is_none());
+        t.insert(Tag(0), TagState::default());
+        assert!(t.get(Tag(0)).is_none(), "insert below the floor is dropped");
+        assert!(t.ensure(Tag(0)).is_none());
+        assert!(t.get_mut(Tag(0)).is_none());
+        t.remove(Tag(0));
+        assert!(t.ready(Tag(0), 0));
+    }
+
+    #[test]
+    fn consumer_of_pruned_tag_issues_immediately() {
+        let mut q = IssueQueue::new(cfg(SchedulerKind::Base));
+        q.insert(alu(0, Some(100), &[])).unwrap();
+        for now in 0..10 {
+            q.cycle(now);
+        }
+        q.prune_tags(2);
+        assert!(!q.tracks_tag(Tag(100)), "old resolved tag must be pruned");
+        assert_eq!(q.tag_ready_time(Tag(100)), None);
+        // A late consumer naming the pruned tag sees it as ready.
+        q.insert(alu(1, None, &[100])).unwrap();
+        let issued = q.cycle(10);
+        assert_eq!(issued.len(), 1);
+        assert_eq!(issued[0].uops[0].id, UopId(1));
+    }
+
+    #[test]
+    fn cycle_into_scratch_reuse_with_shrinking_request_sets() {
+        use std::collections::HashSet;
+        let mut q = IssueQueue::new(cfg(SchedulerKind::Base));
+        for id in 0..6 {
+            q.insert(alu(id, Some(100 + id), &[])).unwrap();
+        }
+        // Reuse one scratch buffer across every call; each cycle issues
+        // fewer uops than the last, so stale entries from a previous,
+        // larger result would show up as duplicate ids.
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        let mut sizes = Vec::new();
+        for now in 0..8 {
+            q.cycle_into(now, &mut out);
+            sizes.push(out.len());
+            for iss in &out {
+                assert_eq!(iss.issue_cycle, now, "no stale issue from a prior call");
+                for u in &iss.uops {
+                    assert!(seen.insert(u.id), "uop {:?} reported twice", u.id);
+                }
+            }
+        }
+        assert_eq!(seen.len(), 6, "every inserted uop issues exactly once");
+        assert!(
+            sizes.windows(2).all(|w| w[1] <= w[0]),
+            "request set must shrink monotonically: {sizes:?}"
+        );
+        q.cycle_into(8, &mut out);
+        assert!(out.is_empty(), "an idle cycle must clear the scratch buffer");
     }
 }

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 
-use mos_core::detect::{DetectInst, MopDetector};
+use mos_core::detect::{DetectInst, DetectedPair, MopDetector};
+use mos_core::pointer::MopPointer;
 use mos_core::{CycleDetection, MopConfig};
 use mos_isa::{Opcode, Reg, StaticInst};
 
@@ -45,6 +46,89 @@ fn to_inst(sidx: u32, k: &K) -> DetectInst {
         ),
     };
     DetectInst::from_static(sidx, &inst, taken, 0x40 + u64::from(sidx / 16) * 64)
+}
+
+fn dst_of(k: &K) -> Option<u8> {
+    match *k {
+        K::Alu1 { dst, .. } | K::Alu2 { dst, .. } | K::Load { dst, .. } | K::Mul { dst, .. } => {
+            Some(dst)
+        }
+        K::Store { .. } | K::Branch { .. } => None,
+    }
+}
+
+fn raw_srcs(k: &K) -> Vec<u8> {
+    match *k {
+        K::Alu1 { a, .. } | K::Load { a, .. } => vec![a],
+        K::Alu2 { a, b, .. } | K::Mul { a, b, .. } => vec![a, b],
+        K::Store { v, a } => vec![a, v],
+        K::Branch { c, .. } => vec![c],
+    }
+}
+
+/// Detect-level oracle: independently re-derive the legality of every
+/// dependent pair the detector emitted — the same payload the simulator
+/// publishes as `mop_detect` trace events — from the raw stream alone.
+///
+/// For each dependent pair (head, tail) it asserts:
+/// 1. the tail truly consumes the head's destination and nothing between
+///    them redefines it (the dependence mark existed);
+/// 2. a tail with two source operands is chosen only when its mark is the
+///    first in the head's column — no older consumer of the head sits
+///    between them (the Figure 8(c) cycle heuristic);
+/// 3. the merged source set (head sources plus tail sources minus the
+///    internal head→tail edge) respects the wakeup-array limit.
+fn detect_oracle(
+    stream: &[K],
+    pairs: &[DetectedPair],
+    max_srcs: Option<usize>,
+) -> Result<(), String> {
+    for p in pairs.iter().filter(|p| !p.independent) {
+        let (h, t) = (p.head_sidx as usize, p.pointer.tail_sidx as usize);
+        if !(h < t && t < stream.len()) {
+            return Err(format!("pair ({h}, {t}) out of stream"));
+        }
+        let head = &stream[h];
+        let tail = &stream[t];
+        let d = dst_of(head).expect("dependent head must generate a value");
+        if !raw_srcs(tail).contains(&d) {
+            return Err(format!(
+                "tail {t} does not read head {h}'s destination r{d}"
+            ));
+        }
+        let between = &stream[h + 1..t];
+        if between.iter().any(|k| dst_of(k) == Some(d)) {
+            return Err(format!(
+                "r{d} redefined between head {h} and tail {t}: the mark never existed"
+            ));
+        }
+        if raw_srcs(tail).len() >= 2 {
+            // Invariant 1 guarantees no redefinition of d in between, so
+            // "earlier mark in the column" reduces to "earlier reader of d".
+            if let Some(k) = between.iter().position(|k| raw_srcs(k).contains(&d)) {
+                return Err(format!(
+                    "two-source tail {t} chosen although instruction {} already \
+                     held the first mark in column {h}",
+                    h + 1 + k
+                ));
+            }
+        }
+        if let Some(limit) = max_srcs {
+            let mut union = raw_srcs(head);
+            for s in raw_srcs(tail) {
+                if s != d && !union.contains(&s) {
+                    union.push(s);
+                }
+            }
+            if union.len() > limit {
+                return Err(format!(
+                    "pair ({h}, {t}) needs {} source tags, wakeup array holds {limit}",
+                    union.len()
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn run_detector(
@@ -169,6 +253,22 @@ proptest! {
         prop_assert!(p >= h, "precise {p} < heuristic {h}");
     }
 
+    /// The detect-level oracle confirms every emitted dependent pair:
+    /// real dependence, first-mark rule for two-source tails, and (when
+    /// limited) the wakeup-array source budget.
+    #[test]
+    fn heuristic_pairs_pass_the_detect_oracle(stream in prop::collection::vec(kinds(), 4..96)) {
+        let pairs = run_detector(&stream, CycleDetection::Heuristic, None);
+        detect_oracle(&stream, &pairs, None).unwrap();
+    }
+
+    /// Same oracle with the CAM two-source wakeup limit active.
+    #[test]
+    fn cam_limited_pairs_pass_the_detect_oracle(stream in prop::collection::vec(kinds(), 4..96)) {
+        let pairs = run_detector(&stream, CycleDetection::Heuristic, Some(2));
+        detect_oracle(&stream, &pairs, Some(2)).unwrap();
+    }
+
     /// Detection is deterministic.
     #[test]
     fn detection_is_deterministic(stream in prop::collection::vec(kinds(), 4..48)) {
@@ -180,4 +280,35 @@ proptest! {
             prop_assert_eq!(x.pointer, y.pointer);
         }
     }
+}
+
+/// The oracle itself must reject illegal pairings, or the property tests
+/// above prove nothing. Hand it pairs the detector would never emit.
+#[test]
+fn detect_oracle_rejects_fabricated_violations() {
+    // i0 writes r1; i1 (a load) reads r1 and holds the first mark in
+    // column 0; i2 reads r1 and r7 with two source operands.
+    let stream = vec![
+        K::Alu1 { dst: 1, a: 9 },
+        K::Load { dst: 2, a: 1 },
+        K::Alu2 { dst: 3, a: 1, b: 7 },
+    ];
+    let fake = |tail: u32| DetectedPair {
+        head_sidx: 0,
+        head_line: 0x40,
+        pointer: MopPointer::new(tail as u8, false, tail),
+        independent: false,
+    };
+    // Pairing (0, 2) breaks the first-mark heuristic: the load at 1
+    // already marked column 0 and the tail has two sources.
+    assert!(detect_oracle(&stream, &[fake(2)], None).is_err());
+    // Pairing (0, 1) is heuristic-legal; under a two-source CAM limit it
+    // is fine too (union {r9, r1-internal} = {r9}).
+    assert!(detect_oracle(&stream, &[fake(1)], Some(2)).is_ok());
+    // A fabricated pair whose tail never reads the head is a non-dependence.
+    let disjoint = vec![K::Alu1 { dst: 1, a: 9 }, K::Alu1 { dst: 2, a: 8 }];
+    assert!(detect_oracle(&disjoint, &[fake(1)], None).is_err());
+    // A two-source union of three registers must trip the CAM limit.
+    let wide = vec![K::Alu2 { dst: 1, a: 8, b: 9 }, K::Alu2 { dst: 2, a: 1, b: 7 }];
+    assert!(detect_oracle(&wide, &[fake(1)], Some(2)).is_err());
 }

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use mos_sim::{MachineConfig, Simulator, SimStats};
+use mos_sim::{EventSink, MachineConfig, Simulator, SimStats};
 use mos_workload::spec2000;
 use mos_workload::{SyntheticProgram, WorkloadSpec};
 
@@ -82,6 +82,23 @@ impl Job {
         let program = cached_program(&spec, self.seed);
         let trace = program.walk(self.seed ^ 0x9e37_79b9_7f4a_7c15);
         let stats = Simulator::new(self.cfg.clone(), trace).run(self.insts);
+        SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+        stats
+    }
+
+    /// [`Job::run`] with event tracing enabled and the stream delivered
+    /// to `sink`. Trace-driven experiments and tests use this to observe
+    /// per-cycle behavior without changing how the job is specified;
+    /// sinks are not `Send`, so traced jobs run inline rather than
+    /// through [`run_jobs`].
+    pub fn run_with_sink(&self, sink: Box<dyn EventSink>) -> SimStats {
+        let spec = spec2000::by_name(self.bench)
+            .unwrap_or_else(|| panic!("unknown benchmark `{}`", self.bench));
+        let program = cached_program(&spec, self.seed);
+        let trace = program.walk(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut sim = Simulator::new(self.cfg.clone(), trace);
+        sim.set_event_sink(sink);
+        let stats = sim.run(self.insts);
         SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
         stats
     }
@@ -259,6 +276,20 @@ mod tests {
             let cached = run_config(&spec, MachineConfig::base_32(), 2_000);
             assert_eq!(fresh, cached, "{name}: cached program changed the run");
         }
+    }
+
+    /// A sink-equipped run sees every traced event exactly once and
+    /// commits the same stream as the untraced run.
+    #[test]
+    fn run_with_sink_traces_without_changing_the_run() {
+        let job = Job::new("gzip", MachineConfig::base_32(), 2_000);
+        let plain = job.run();
+        let ring = mos_sim::SharedRing::new(4_096);
+        let traced = job.run_with_sink(Box::new(ring.clone()));
+        assert_eq!(traced.committed, plain.committed);
+        assert_eq!(traced.cycles, plain.cycles);
+        assert!(traced.events.total() > 0, "tracing must be enabled");
+        assert_eq!(ring.total_seen(), traced.events.total());
     }
 
     #[test]

@@ -1,0 +1,48 @@
+//! Event-trace plumbing for the simulator: re-exports `mos-core`'s typed
+//! event stream (the queue emits directly into it) and adds the shareable
+//! ring sink used by the `mossim trace` CLI and by test helpers that need
+//! to keep a tail of the stream while the simulator owns the sink.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+pub use mos_core::events::{EventCounts, EventSink, RingSink, TraceEvent};
+
+/// A clonable handle to a shared [`RingSink`]: the simulator drives it as
+/// its sink while the caller keeps a handle to read the buffered tail
+/// afterwards (for JSONL dumps or failure excerpts).
+#[derive(Debug, Clone)]
+pub struct SharedRing(Rc<RefCell<RingSink>>);
+
+impl SharedRing {
+    /// Shared ring keeping the most recent `cap` events.
+    pub fn new(cap: usize) -> SharedRing {
+        SharedRing(Rc::new(RefCell::new(RingSink::new(cap))))
+    }
+
+    /// Run `f` against the buffered ring.
+    pub fn with<R>(&self, f: impl FnOnce(&RingSink) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Human-readable excerpt of the last `n` buffered events.
+    pub fn excerpt(&self, n: usize) -> String {
+        self.0.borrow().excerpt(n)
+    }
+
+    /// Buffered events rendered as JSONL.
+    pub fn to_jsonl(&self) -> String {
+        self.0.borrow().to_jsonl()
+    }
+
+    /// Total events observed, including those that fell off the ring.
+    pub fn total_seen(&self) -> u64 {
+        self.0.borrow().total_seen()
+    }
+}
+
+impl EventSink for SharedRing {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.0.borrow_mut().emit(ev);
+    }
+}

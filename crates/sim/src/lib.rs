@@ -40,10 +40,14 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod events;
+pub mod oracle;
 mod sim;
 mod stats;
 pub mod timeline;
 
 pub use config::MachineConfig;
+pub use events::{EventCounts, EventSink, RingSink, SharedRing, TraceEvent};
+pub use oracle::{InvariantOracle, OracleMode, Violation};
 pub use sim::Simulator;
 pub use stats::SimStats;

@@ -14,6 +14,8 @@ use mos_uarch::branch::{Btb, CombinedPredictor, ReturnAddressStack};
 use mos_uarch::cache::Cache;
 
 use crate::config::MachineConfig;
+use crate::events::{EventSink, TraceEvent};
+use crate::oracle::{InvariantOracle, OracleMode};
 use crate::stats::SimStats;
 use crate::timeline::Timeline;
 
@@ -123,10 +125,20 @@ pub struct Simulator<T: TraceSource> {
     stats: SimStats,
     timeline: Option<Timeline>,
 
+    // Event tracing. `tracing` is the single gate: when false (release
+    // default) no event value is ever constructed anywhere in the
+    // pipeline or the queue.
+    tracing: bool,
+    sink: Option<Box<dyn EventSink>>,
+    orc: Option<InvariantOracle>,
+
     // Reusable per-cycle scratch (hoisted out of the hot loop).
     issue_buf: Vec<Issued>,
     replay_buf: Vec<UopId>,
     detect_buf: Vec<DetectInst>,
+    trace_buf: Vec<TraceEvent>,
+    ptr_install_buf: Vec<(u32, u64)>,
+    ptr_evict_buf: Vec<u32>,
 }
 
 impl<T: TraceSource> Simulator<T> {
@@ -134,7 +146,8 @@ impl<T: TraceSource> Simulator<T> {
     pub fn new(cfg: MachineConfig, trace: T) -> Simulator<T> {
         let program = trace.program().clone();
         let fetch_pc = program.entry();
-        Simulator {
+        #[allow(unused_mut)]
+        let mut sim = Simulator {
             predictor: CombinedPredictor::new(&cfg.branch),
             btb: Btb::new(cfg.branch.btb_entries, cfg.branch.btb_ways),
             ras: ReturnAddressStack::new(cfg.branch.ras_depth),
@@ -162,14 +175,83 @@ impl<T: TraceSource> Simulator<T> {
             last_commit_cycle: 0,
             stats: SimStats::default(),
             timeline: None,
+            tracing: false,
+            sink: None,
+            orc: None,
             issue_buf: Vec::new(),
             replay_buf: Vec::new(),
             detect_buf: Vec::new(),
+            trace_buf: Vec::new(),
+            ptr_install_buf: Vec::new(),
+            ptr_evict_buf: Vec::new(),
             oracle_done: false,
             program,
             trace,
             cfg,
+        };
+        // Debug builds watch every run with a panicking invariant oracle:
+        // the whole test suite doubles as a scheduling-legality suite.
+        // Release builds (benches, experiments, the default CLI) pay
+        // nothing.
+        #[cfg(debug_assertions)]
+        sim.attach_oracle(OracleMode::Panic);
+        sim
+    }
+
+    /// Attach an event sink; enables tracing for the rest of the run.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+        self.enable_tracing();
+    }
+
+    /// Attach a fresh [`InvariantOracle`] in `mode` (replacing any
+    /// previous one); enables tracing for the rest of the run.
+    pub fn attach_oracle(&mut self, mode: OracleMode) {
+        self.orc = Some(InvariantOracle::new(&self.cfg.sched, mode));
+        self.enable_tracing();
+    }
+
+    /// The attached invariant oracle, if any.
+    pub fn oracle(&self) -> Option<&InvariantOracle> {
+        self.orc.as_ref()
+    }
+
+    fn enable_tracing(&mut self) {
+        self.tracing = true;
+        self.queue.set_tracing(true);
+    }
+
+    /// Count an event and deliver it to the sink and the oracle. An
+    /// associated fn so call sites can hold disjoint borrows of other
+    /// `self` fields.
+    fn emit(
+        stats: &mut SimStats,
+        sink: &mut Option<Box<dyn EventSink>>,
+        orc: &mut Option<InvariantOracle>,
+        ev: TraceEvent,
+    ) {
+        stats.events.record(&ev);
+        if let Some(s) = sink {
+            s.emit(&ev);
         }
+        if let Some(o) = orc {
+            o.emit(&ev);
+        }
+    }
+
+    /// Forward everything the queue buffered since the last drain,
+    /// stamped with the simulator's clock.
+    #[inline]
+    fn drain_queue_trace(&mut self) {
+        if !self.tracing {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.trace_buf);
+        self.queue.drain_trace_into(self.now, &mut buf);
+        for ev in buf.drain(..) {
+            Self::emit(&mut self.stats, &mut self.sink, &mut self.orc, ev);
+        }
+        self.trace_buf = buf;
     }
 
     /// Run until `max_commits` instructions have committed or the trace
@@ -246,11 +328,32 @@ impl<T: TraceSource> Simulator<T> {
 
         // 2. Rename / MOP formation / queue insertion.
         self.insert_stage();
+        self.drain_queue_trace();
 
         // 3. Wakeup/select.
-        self.pointers.tick(now);
+        if self.tracing {
+            let mut installs = std::mem::take(&mut self.ptr_install_buf);
+            installs.clear();
+            self.pointers.tick_into(now, &mut installs);
+            for &(head_sidx, line) in &installs {
+                Self::emit(
+                    &mut self.stats,
+                    &mut self.sink,
+                    &mut self.orc,
+                    TraceEvent::PointerInstall {
+                        cycle: now,
+                        head_sidx,
+                        line,
+                    },
+                );
+            }
+            self.ptr_install_buf = installs;
+        } else {
+            self.pointers.tick(now);
+        }
         let mut issued = std::mem::take(&mut self.issue_buf);
         self.queue.cycle_into(now, &mut issued);
+        self.drain_queue_trace();
         for iss in &issued {
             self.handle_issue(iss);
         }
@@ -284,7 +387,27 @@ impl<T: TraceSource> Simulator<T> {
         };
         let access = self.il1.access(first_pc);
         if let Some(evicted) = access.evicted {
-            self.pointers.invalidate_line(evicted);
+            if self.tracing {
+                let mut dropped = std::mem::take(&mut self.ptr_evict_buf);
+                dropped.clear();
+                self.pointers.invalidate_line_into(evicted, &mut dropped);
+                for &head_sidx in &dropped {
+                    Self::emit(
+                        &mut self.stats,
+                        &mut self.sink,
+                        &mut self.orc,
+                        TraceEvent::PointerEvict {
+                            cycle: now,
+                            head_sidx,
+                            line: evicted,
+                            filtered: false,
+                        },
+                    );
+                }
+                self.ptr_evict_buf = dropped;
+            } else {
+                self.pointers.invalidate_line(evicted);
+            }
         }
         if !access.hit {
             // Miss into the unified L2.
@@ -346,6 +469,31 @@ impl<T: TraceSource> Simulator<T> {
             self.stats.fetched += 1;
             if self.wrong_path {
                 self.stats.wrong_path_fetched += 1;
+            }
+            if self.tracing {
+                Self::emit(
+                    &mut self.stats,
+                    &mut self.sink,
+                    &mut self.orc,
+                    TraceEvent::Fetch {
+                        cycle: now,
+                        sidx,
+                        wrong_path: self.wrong_path,
+                        pointer: pointer.is_some(),
+                    },
+                );
+                if let Some(p) = pointer {
+                    Self::emit(
+                        &mut self.stats,
+                        &mut self.sink,
+                        &mut self.orc,
+                        TraceEvent::PointerHit {
+                            cycle: now,
+                            head_sidx: sidx,
+                            tail_sidx: p.tail_sidx,
+                        },
+                    );
+                }
             }
             insts.push(FrontInst {
                 sidx,
@@ -530,6 +678,22 @@ impl<T: TraceSource> Simulator<T> {
             };
             let ready = now + self.cfg.sched.mop.detection_delay;
             for p in pairs {
+                if self.tracing {
+                    Self::emit(
+                        &mut self.stats,
+                        &mut self.sink,
+                        &mut self.orc,
+                        TraceEvent::MopDetect {
+                            cycle: now,
+                            head_sidx: p.head_sidx,
+                            tail_sidx: p.pointer.tail_sidx,
+                            offset: p.pointer.offset,
+                            control: p.pointer.control,
+                            independent: p.pointer.independent,
+                            visible_at: ready,
+                        },
+                    );
+                }
                 self.pointers
                     .schedule_install(p.head_sidx, p.pointer, p.head_line, ready);
             }
@@ -630,6 +794,20 @@ impl<T: TraceSource> Simulator<T> {
                 t.record_issue(uop.id.0, iss.issue_cycle, mop_head);
             }
             let exec_at = iss.issue_cycle + u64::from(self.cfg.exec_offset) + k as u64;
+            if self.tracing {
+                Self::emit(
+                    &mut self.stats,
+                    &mut self.sink,
+                    &mut self.orc,
+                    TraceEvent::Issue {
+                        cycle: iss.issue_cycle,
+                        id: uop.id,
+                        sidx: uop.sidx,
+                        exec_at,
+                        mop: is_mop,
+                    },
+                );
+            }
             self.events
                 .entry(exec_at)
                 .or_default()
@@ -664,8 +842,21 @@ impl<T: TraceSource> Simulator<T> {
             .max();
         if let Some(tail_ready) = tail_ready {
             if tail_ready > head_ready + 1 && tail_ready + 2 >= iss.issue_cycle {
-                self.pointers.delete_and_blacklist(head.sidx);
+                let deleted = self.pointers.delete_and_blacklist(head.sidx);
                 self.stats.last_arrival_filtered += 1;
+                if deleted && self.tracing {
+                    Self::emit(
+                        &mut self.stats,
+                        &mut self.sink,
+                        &mut self.orc,
+                        TraceEvent::PointerEvict {
+                            cycle: iss.issue_cycle,
+                            head_sidx: head.sidx,
+                            line: 0,
+                            filtered: true,
+                        },
+                    );
+                }
             }
         }
     }
@@ -695,6 +886,7 @@ impl<T: TraceSource> Simulator<T> {
                     // events from the cancelled issue are dropped.
                     let mut replayed = std::mem::take(&mut self.replay_buf);
                     self.queue.load_resolved_into(tag, hit, data_ready, &mut replayed);
+                    self.drain_queue_trace();
                     for &rid in &replayed {
                         if let Some(k) = self.rob_index(rid) {
                             self.rob[k].complete_at = None;
@@ -807,6 +999,19 @@ impl<T: TraceSource> Simulator<T> {
 
         // --- Squash ---
         self.stats.squashes += 1;
+        if self.tracing {
+            let branch_sidx = self.rob[idx].sidx;
+            Self::emit(
+                &mut self.stats,
+                &mut self.sink,
+                &mut self.orc,
+                TraceEvent::Squash {
+                    cycle: now,
+                    from: UopId(id.0 + 1),
+                    branch_sidx,
+                },
+            );
+        }
         self.queue.squash_from(UopId(id.0 + 1));
         while self.rob.back().is_some_and(|b| b.id > id) {
             let b = self.rob.pop_back().expect("checked above");
@@ -847,6 +1052,18 @@ impl<T: TraceSource> Simulator<T> {
             debug_assert!(head.dyn_.is_some(), "wrong-path uop reached commit");
             self.stats.committed += 1;
             self.last_commit_cycle = now;
+            if self.tracing {
+                Self::emit(
+                    &mut self.stats,
+                    &mut self.sink,
+                    &mut self.orc,
+                    TraceEvent::Commit {
+                        cycle: now,
+                        id: head.id,
+                        sidx: head.sidx,
+                    },
+                );
+            }
             if let Some(t) = self.timeline.as_mut() {
                 if let Some(c) = head.complete_at {
                     t.record_complete(head.id.0, c);

@@ -2,6 +2,7 @@
 //! and Table 2 are built from.
 
 use mos_core::detect::DetectStats;
+use mos_core::events::EventCounts;
 use mos_core::form::FormStats;
 use mos_core::queue::QueueStats;
 use mos_core::GroupRole;
@@ -52,6 +53,9 @@ pub struct SimStats {
     pub mop_entries_issued: u64,
     /// Times the last-arriving-operand filter deleted a pointer.
     pub last_arrival_filtered: u64,
+    /// Per-kind trace-event counts. All zero unless event tracing was
+    /// enabled for the run.
+    pub events: EventCounts,
 }
 
 impl SimStats {
@@ -192,6 +196,19 @@ impl SimStats {
                 self.detect.cycle_rejects,
                 self.detect.src_limit_rejects,
                 self.detect.flow_rejects
+            );
+        }
+        if self.events.total() > 0 {
+            let _ = writeln!(
+                s,
+                "events: {} traced ({} wakeup, {} select, {} issue, {} replay, {} commit, {} squash)",
+                self.events.total(),
+                self.events.wakeup,
+                self.events.select,
+                self.events.issue,
+                self.events.replay,
+                self.events.commit,
+                self.events.squash
             );
         }
         s

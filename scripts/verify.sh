@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: everything CI and reviewers rely on.
 #   1. release build of the whole workspace
-#   2. full test suite
+#   2. full test suite (debug builds auto-attach the panicking
+#      scheduling-invariant oracle, so this is also the timing suite)
 #   3. clippy, warnings denied
+#   4. `mossim trace --check` smoke per scheduler model
 # Optional extras with --full: jobs-determinism check + perf snapshot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,11 +12,20 @@ cd "$(dirname "$0")/.."
 echo "== build (release, workspace) =="
 cargo build --release --workspace
 
-echo "== tests =="
+echo "== tests (oracle-enabled debug builds) =="
 cargo test -q --workspace
 
 echo "== clippy (deny warnings) =="
-cargo clippy --workspace -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== trace --check smoke (atomic / pipelined / macro-op) =="
+for sched in base 2cycle mop-wor; do
+    ./target/release/mossim trace --bench gzip --sched "$sched" \
+        --insts 10000 --check --out "/tmp/verify_trace_${sched}.jsonl" \
+        > "/tmp/verify_trace_${sched}.txt"
+    grep -q "no scheduling-invariant violations" "/tmp/verify_trace_${sched}.txt"
+    echo "  $sched: oracle clean"
+done
 
 if [[ "${1:-}" == "--full" ]]; then
     bin=./target/release/experiments

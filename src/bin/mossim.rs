@@ -2,7 +2,7 @@
 //! the full statistics report.
 //!
 //! ```text
-//! mossim [options]
+//! mossim [trace] [options]
 //!   --bench NAME        benchmark model (default gzip) or kernel with --kernel
 //!   --kernel NAME       run an assembly kernel instead of a benchmark model
 //!   --sched KIND        base | 2cycle | mop-2src | mop-wor | sf-squash |
@@ -14,18 +14,29 @@
 //!   --ideal-branch      perfect branch prediction
 //!   --ideal-memory      perfect data cache
 //!   --timeline N        print the first N uop timelines
+//!
+//! trace mode (per-cycle event tracing):
+//!   --out FILE          write the last --last events as JSONL
+//!                       (default trace.jsonl)
+//!   --last N            ring-buffer capacity (default 4096)
+//!   --check             run the scheduling-invariant oracle over the
+//!                       stream; print violations and exit nonzero
 //! ```
 
 use std::process::ExitCode;
 
 use mopsched::core::WakeupStyle;
 use mopsched::isa::{Program, TraceSource};
-use mopsched::sim::{MachineConfig, Simulator};
+use mopsched::sim::{MachineConfig, OracleMode, SharedRing, Simulator};
 use mopsched::{asm, workload};
 
 fn parse() -> Result<Args, String> {
     let mut a = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().is_some_and(|f| f == "trace") {
+        it.next();
+        a.trace = true;
+    }
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
             it.next()
@@ -57,6 +68,13 @@ fn parse() -> Result<Args, String> {
             }
             "--ideal-branch" => a.ideal_branch = true,
             "--ideal-memory" => a.ideal_memory = true,
+            "--out" if a.trace => a.out = val("--out")?,
+            "--last" if a.trace => {
+                a.last = val("--last")?
+                    .parse()
+                    .map_err(|e| format!("--last: {e}"))?
+            }
+            "--check" if a.trace => a.check = true,
             "--timeline" => {
                 a.timeline = val("--timeline")?
                     .parse()
@@ -80,6 +98,10 @@ struct Args {
     ideal_branch: bool,
     ideal_memory: bool,
     timeline: usize,
+    trace: bool,
+    out: String,
+    last: usize,
+    check: bool,
 }
 
 impl Default for Args {
@@ -95,6 +117,10 @@ impl Default for Args {
             ideal_branch: false,
             ideal_memory: false,
             timeline: 0,
+            trace: false,
+            out: "trace.jsonl".into(),
+            last: 4096,
+            check: false,
         }
     }
 }
@@ -145,10 +171,18 @@ fn config(a: &Args) -> Result<MachineConfig, String> {
     Ok(cfg)
 }
 
-fn run<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, program: Program) {
+fn run<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, program: Program) -> bool {
     let mut sim = Simulator::new(cfg, trace);
     if a.timeline > 0 {
         sim.enable_timeline(a.timeline);
+    }
+    let ring = a.trace.then(|| {
+        let ring = SharedRing::new(a.last);
+        sim.set_event_sink(Box::new(ring.clone()));
+        ring
+    });
+    if a.check {
+        sim.attach_oracle(OracleMode::Collect);
     }
     let stats = sim.run(a.insts);
     print!("{}", stats.report());
@@ -156,6 +190,40 @@ fn run<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, program: Program)
         println!("\nfirst {} uops:", t.entries().len());
         print!("{}", t.render(&program));
     }
+    if let Some(ring) = ring {
+        match std::fs::write(&a.out, ring.to_jsonl()) {
+            Ok(()) => println!(
+                "trace: kept the last {} of {} events in {}",
+                ring.with(|r| r.len()),
+                ring.total_seen(),
+                a.out
+            ),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", a.out);
+                return false;
+            }
+        }
+    }
+    if a.check {
+        let oracle = sim.oracle().expect("attached above");
+        if oracle.is_clean() {
+            println!(
+                "oracle: checked {} events, no scheduling-invariant violations",
+                oracle.events_seen()
+            );
+        } else {
+            eprintln!(
+                "oracle: {} scheduling-invariant violation(s) in {} events",
+                oracle.violations().len(),
+                oracle.events_seen()
+            );
+            for v in oracle.violations() {
+                eprintln!("{v}");
+            }
+            return false;
+        }
+    }
+    true
 }
 
 fn main() -> ExitCode {
@@ -187,12 +255,14 @@ fn main() -> ExitCode {
         };
         println!("kernel `{kname}`, scheduler {}, queue {:?}\n", a.sched, cfg.sched.queue_entries);
         let image = kernel.image();
-        run(
+        if !run(
             &a,
             cfg,
             asm::Interpreter::new(&image),
             image.program.clone(),
-        );
+        ) {
+            return ExitCode::FAILURE;
+        }
     } else {
         let Some(spec) = workload::spec2000::by_name(&a.bench) else {
             eprintln!(
@@ -208,7 +278,9 @@ fn main() -> ExitCode {
         );
         let trace = spec.trace(a.seed);
         let program = trace.program().clone();
-        run(&a, cfg, trace, program);
+        if !run(&a, cfg, trace, program) {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

@@ -9,7 +9,8 @@ use proptest::prelude::*;
 use mopsched::asm::{Image, Interpreter};
 use mopsched::core::WakeupStyle;
 use mopsched::isa::{InstClass, Opcode, Program, Reg, StaticInst};
-use mopsched::sim::{MachineConfig, Simulator};
+use mopsched::sim::MachineConfig;
+use mos_testutil::run_traced;
 
 /// One random instruction inside a loop body.
 #[derive(Debug, Clone)]
@@ -136,15 +137,17 @@ proptest! {
     #[test]
     fn schedulers_commit_the_functional_stream(image in program_strategy()) {
         let (expected, _) = functional_commits(&image);
-        for cfg in [
-            MachineConfig::base_32(),
-            MachineConfig::two_cycle_32(),
-            MachineConfig::macro_op(WakeupStyle::CamTwoSource, Some(32), 1),
-            MachineConfig::macro_op(WakeupStyle::WiredOr, Some(16), 0),
-            MachineConfig::select_free_scoreboard_32(),
+        for (name, cfg) in [
+            ("base", MachineConfig::base_32()),
+            ("2cycle", MachineConfig::two_cycle_32()),
+            ("mop-2src", MachineConfig::macro_op(WakeupStyle::CamTwoSource, Some(32), 1)),
+            ("mop-wor-16", MachineConfig::macro_op(WakeupStyle::WiredOr, Some(16), 0)),
+            ("sf-scoreboard", MachineConfig::select_free_scoreboard_32()),
         ] {
-            let stats = Simulator::new(cfg, Interpreter::new(&image)).run(u64::MAX);
-            prop_assert_eq!(stats.committed, expected);
+            // A mismatch fails with the trailing event window, not a bare
+            // stats diff: the excerpt shows where the machine wedged.
+            run_traced(cfg, Interpreter::new(&image), u64::MAX, 256)
+                .assert_committed(expected, name);
         }
     }
 
@@ -156,8 +159,8 @@ proptest! {
         for size in [3usize, 4] {
             let mut cfg = MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1);
             cfg.sched.mop.max_mop_size = size;
-            let stats = Simulator::new(cfg, Interpreter::new(&image)).run(u64::MAX);
-            prop_assert_eq!(stats.committed, expected, "size {}", size);
+            run_traced(cfg, Interpreter::new(&image), u64::MAX, 256)
+                .assert_committed(expected, &format!("mop chain size {size}"));
         }
     }
 
@@ -168,7 +171,7 @@ proptest! {
         let (expected, _) = functional_commits(&image);
         let mut cfg = MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 0);
         cfg.sched.mop.cycle_detection = mopsched::core::CycleDetection::Precise;
-        let stats = Simulator::new(cfg, Interpreter::new(&image)).run(u64::MAX);
-        prop_assert_eq!(stats.committed, expected);
+        run_traced(cfg, Interpreter::new(&image), u64::MAX, 256)
+            .assert_committed(expected, "precise cycle detection");
     }
 }

@@ -3,17 +3,18 @@
 //! (fetch -> insert -> issue -> exec -> commit), the front-end delay is
 //! exact, commits are in order, and fused MOP members issue together in
 //! one entry with payload-RAM sequencing.
+//!
+//! Failures print the trailing event-trace window (via `mos-testutil`),
+//! not just the offending timeline numbers.
 
 use mopsched::core::WakeupStyle;
-use mopsched::sim::{MachineConfig, Simulator};
+use mopsched::sim::MachineConfig;
 use mopsched::workload::spec2000;
+use mos_testutil::{run_traced_with_timeline, TracedRun};
 
-fn record(bench: &str, cfg: MachineConfig, uops: usize, run: u64) -> Vec<mopsched::sim::timeline::UopTimeline> {
+fn record(bench: &str, cfg: MachineConfig, uops: usize, run: u64) -> TracedRun {
     let spec = spec2000::by_name(bench).expect("known benchmark");
-    let mut sim = Simulator::new(cfg, spec.trace(42));
-    sim.enable_timeline(uops);
-    sim.run(run);
-    sim.timeline().expect("enabled").entries().to_vec()
+    run_traced_with_timeline(cfg, spec.trace(42), run, 512, uops)
 }
 
 #[test]
@@ -25,31 +26,36 @@ fn stages_advance_monotonically() {
     ] {
         let front = cfg.front_delay();
         let exec_offset = u64::from(cfg.exec_offset);
-        for e in record("parser", cfg, 2_000, 4_000) {
-            assert!(
-                e.inserted_at >= e.fetched_at + front,
-                "uop {}: insert {} vs fetch {} (+{front})",
-                e.id,
-                e.inserted_at,
-                e.fetched_at
-            );
+        let run = record("parser", cfg, 2_000, 4_000);
+        for e in &run.timelines {
+            run.expect(e.inserted_at >= e.fetched_at + front, || {
+                format!(
+                    "uop {}: insert {} vs fetch {} (+{front})",
+                    e.id, e.inserted_at, e.fetched_at
+                )
+            });
             if let Some(issue) = e.last_issue() {
-                assert!(issue >= e.inserted_at, "uop {}: issued before insert", e.id);
+                run.expect(issue >= e.inserted_at, || {
+                    format!("uop {}: issued before insert", e.id)
+                });
                 if let Some(exec) = e.exec_at {
                     // Head executes at issue + offset; a MOP tail one later.
-                    assert!(
-                        exec >= issue + exec_offset,
-                        "uop {}: exec {} before issue {} + {exec_offset}",
-                        e.id,
-                        exec,
-                        issue
-                    );
+                    run.expect(exec >= issue + exec_offset, || {
+                        format!(
+                            "uop {}: exec {} before issue {} + {exec_offset}",
+                            e.id, exec, issue
+                        )
+                    });
                 }
             }
             if let Some(commit) = e.commit_at {
-                assert!(!e.wrong_path, "wrong-path uop {} committed", e.id);
+                run.expect(!e.wrong_path, || {
+                    format!("wrong-path uop {} committed", e.id)
+                });
                 let exec = e.exec_at.expect("committed uops executed");
-                assert!(commit >= exec, "uop {}: commit {} before exec {}", e.id, commit, exec);
+                run.expect(commit >= exec, || {
+                    format!("uop {}: commit {} before exec {}", e.id, commit, exec)
+                });
             }
         }
     }
@@ -57,13 +63,17 @@ fn stages_advance_monotonically() {
 
 #[test]
 fn commits_are_in_program_order() {
-    let entries = record("gzip", MachineConfig::base_32(), 2_000, 4_000);
+    let run = record("gzip", MachineConfig::base_32(), 2_000, 4_000);
     let mut last: Option<(u64, u64)> = None;
-    for e in entries.iter().filter(|e| e.commit_at.is_some()) {
+    for e in run.timelines.iter().filter(|e| e.commit_at.is_some()) {
         let c = e.commit_at.expect("filtered");
         if let Some((pid, pc)) = last {
-            assert!(pid < e.id);
-            assert!(pc <= c, "uop {} committed at {} after uop {} at {}", e.id, c, pid, pc);
+            run.expect(pid < e.id, || {
+                format!("uop {} recorded after younger uop {}", e.id, pid)
+            });
+            run.expect(pc <= c, || {
+                format!("uop {} committed at {} after uop {} at {}", e.id, c, pid, pc)
+            });
         }
         last = Some((e.id, c));
     }
@@ -71,14 +81,15 @@ fn commits_are_in_program_order() {
 
 #[test]
 fn fused_members_issue_together_and_sequence() {
-    let entries = record(
+    let run = record(
         "gzip",
         MachineConfig::macro_op(WakeupStyle::WiredOr, Some(32), 1),
         3_000,
         6_000,
     );
+    let entries = &run.timelines;
     let mut fused_pairs = 0;
-    for e in &entries {
+    for e in entries {
         let Some(head_id) = e.mop_head else { continue };
         if head_id == e.id {
             continue;
@@ -88,18 +99,18 @@ fn fused_members_issue_together_and_sequence() {
         };
         // Same entry => identical (final) issue cycle.
         if let (Some(hi), Some(ti)) = (head.last_issue(), e.last_issue()) {
-            assert_eq!(hi, ti, "head {} and tail {} issued apart", head.id, e.id);
+            run.expect(hi == ti, || {
+                format!("head {} and tail {} issued apart ({hi} vs {ti})", head.id, e.id)
+            });
         }
         // Payload-RAM sequencing: tail executes after the head.
         if let (Some(hx), Some(tx)) = (head.exec_at, e.exec_at) {
-            assert!(
-                tx > hx,
-                "tail {} exec {} not after head {} exec {}",
-                e.id,
-                tx,
-                head.id,
-                hx
-            );
+            run.expect(tx > hx, || {
+                format!(
+                    "tail {} exec {} not after head {} exec {}",
+                    e.id, tx, head.id, hx
+                )
+            });
         }
         fused_pairs += 1;
     }
@@ -108,7 +119,7 @@ fn fused_members_issue_together_and_sequence() {
 
 #[test]
 fn replays_show_up_as_multiple_issues() {
-    let entries = record("mcf", MachineConfig::base_32(), 4_000, 8_000);
-    let replayed = entries.iter().filter(|e| e.issues.len() > 1).count();
+    let run = record("mcf", MachineConfig::base_32(), 4_000, 8_000);
+    let replayed = run.timelines.iter().filter(|e| e.issues.len() > 1).count();
     assert!(replayed > 0, "mcf must replay load dependents");
 }
