@@ -54,6 +54,10 @@ pub enum TraceEvent {
         pending: bool,
         /// The uop is a load.
         is_load: bool,
+        /// Cycle the instruction was fetched (timeline seeding).
+        fetched_at: u64,
+        /// The uop was fetched on a mispredicted path.
+        wrong_path: bool,
     },
     /// Detection produced a MOP pair; its pointer becomes visible at
     /// `visible_at` (detection delay).
@@ -179,6 +183,8 @@ pub enum TraceEvent {
         id: UopId,
         /// Static index.
         sidx: u32,
+        /// Cycle the result completed and the uop became committable.
+        complete_at: u64,
     },
     /// A branch misprediction squashed every uop at or after `from`.
     Squash {
@@ -287,11 +293,13 @@ impl TraceEvent {
                 fused,
                 pending,
                 is_load,
+                fetched_at,
+                wrong_path,
                 ..
             } => {
                 let _ = write!(
                     s,
-                    ",\"id\":{},\"sidx\":{sidx},\"entry\":[{},{}],\"dst\":{},\"srcs\":{},\"fused\":{fused},\"pending\":{pending},\"is_load\":{is_load}",
+                    ",\"id\":{},\"sidx\":{sidx},\"entry\":[{},{}],\"dst\":{},\"srcs\":{},\"fused\":{fused},\"pending\":{pending},\"is_load\":{is_load},\"fetched_at\":{fetched_at},\"wrong_path\":{wrong_path}",
                     id.0,
                     entry.index(),
                     entry.generation(),
@@ -405,8 +413,13 @@ impl TraceEvent {
                     tag.0
                 );
             }
-            TraceEvent::Commit { id, sidx, .. } => {
-                let _ = write!(s, ",\"id\":{},\"sidx\":{sidx}", id.0);
+            TraceEvent::Commit {
+                id,
+                sidx,
+                complete_at,
+                ..
+            } => {
+                let _ = write!(s, ",\"id\":{},\"sidx\":{sidx},\"complete_at\":{complete_at}", id.0);
             }
             TraceEvent::Squash {
                 from, branch_sidx, ..
@@ -424,6 +437,12 @@ impl TraceEvent {
 pub trait EventSink {
     /// Observe one event.
     fn emit(&mut self, ev: &TraceEvent);
+
+    /// Events this sink observed but could not keep (e.g. a bounded ring
+    /// wrapping). Unbounded sinks report 0.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// Per-kind event counters, folded into the simulator's statistics when
@@ -456,6 +475,10 @@ pub struct EventCounts {
     pub commit: u64,
     /// `squash` events.
     pub squash: u64,
+    /// Events the attached sink observed but discarded (ring wrap). Not a
+    /// kind of its own: every dropped event is also counted above, so
+    /// [`EventCounts::total`] excludes it.
+    pub dropped: u64,
 }
 
 impl EventCounts {
@@ -505,6 +528,7 @@ pub struct RingSink {
     cap: usize,
     buf: VecDeque<TraceEvent>,
     seen: u64,
+    dropped: u64,
 }
 
 impl RingSink {
@@ -514,6 +538,7 @@ impl RingSink {
             cap: cap.max(1),
             buf: VecDeque::new(),
             seen: 0,
+            dropped: 0,
         }
     }
 
@@ -535,6 +560,11 @@ impl RingSink {
     /// Total events observed (including those that fell off the ring).
     pub fn total_seen(&self) -> u64 {
         self.seen
+    }
+
+    /// Events that fell off the ring (observed but no longer buffered).
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
     }
 
     /// Render the buffered events as JSONL, one event per line.
@@ -570,8 +600,13 @@ impl EventSink for RingSink {
         self.seen += 1;
         if self.buf.len() == self.cap {
             self.buf.pop_front();
+            self.dropped += 1;
         }
         self.buf.push_back(ev.clone());
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 
@@ -584,6 +619,7 @@ mod tests {
             cycle,
             id: UopId(id),
             sidx: 7,
+            complete_at: cycle,
         }
     }
 
@@ -595,6 +631,8 @@ mod tests {
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.total_seen(), 5);
+        assert_eq!(r.dropped_count(), 2);
+        assert_eq!(EventSink::dropped(&r), 2);
         let cycles: Vec<u64> = r.events().map(|e| e.cycle()).collect();
         assert_eq!(cycles, vec![2, 3, 4]);
     }

@@ -48,6 +48,11 @@ pub struct RenamedInst {
     pub is_candidate: bool,
     /// Value-generating candidate?
     pub is_valuegen: bool,
+    /// Cycle the instruction was fetched (carried into the uop for trace
+    /// timelines).
+    pub fetched_at: u64,
+    /// Fetched on a mispredicted path.
+    pub wrong_path: bool,
 }
 
 /// One steering decision for the queue stage, in group order.
@@ -196,6 +201,8 @@ impl Former {
             is_load: inst.class == InstClass::Load,
             sidx: inst.sidx,
             role,
+            fetched_at: inst.fetched_at,
+            wrong_path: inst.wrong_path,
         }
     }
 
@@ -419,6 +426,8 @@ mod tests {
             pointer: None,
             is_candidate: true,
             is_valuegen: dst.is_some(),
+            fetched_at: 0,
+            wrong_path: false,
         }
     }
 

@@ -29,6 +29,7 @@
 //! plus the configured replay penalty.
 
 use mos_isa::FuKind;
+use mos_metrics::Hist;
 
 use crate::config::{SchedConfig, SchedulerKind};
 use crate::events::TraceEvent;
@@ -102,6 +103,10 @@ struct Entry {
     confirm_at: Option<u64>,
     /// Select-free: speculative wake broadcast already sent.
     spec_broadcast: bool,
+    /// First cycle the entry requested selection with all sources ready
+    /// (metrics only; cleared on replay so each grant measures its own
+    /// wakeup→select slack).
+    woken_at: Option<u64>,
 }
 
 impl Entry {
@@ -286,6 +291,22 @@ impl QueueStats {
     }
 }
 
+/// Opt-in scheduling distributions, behind the same
+/// zero-cost-when-disabled guard as event tracing: when metrics are off
+/// (the default) no sample is ever taken.
+#[derive(Debug, Clone, Default)]
+pub struct QueueMetrics {
+    /// Occupied entries, sampled once per cycle. Reconciles with
+    /// [`QueueStats`]: the sample count equals `cycles` and the sample sum
+    /// equals `occupancy_integral`.
+    pub occupancy: Hist,
+    /// Cycles from an entry's first selection request with every source
+    /// ready to the grant that issued it, one sample per granted entry
+    /// (the sample count equals `issued_entries`). Nonzero delays are
+    /// structural-hazard or collision victims.
+    pub wakeup_select_delay: Hist,
+}
+
 /// The issue queue. See the module docs for the scheduling models.
 ///
 /// ```
@@ -323,6 +344,8 @@ pub struct IssueQueue {
     /// driver owns the cycle stamp (the queue's clock lags the
     /// simulator's during insertion), so buffered cycles are provisional.
     trace_buf: Vec<TraceEvent>,
+    /// Opt-in scheduling histograms; `None` (the default) samples nothing.
+    metrics: Option<Box<QueueMetrics>>,
 }
 
 impl IssueQueue {
@@ -344,6 +367,7 @@ impl IssueQueue {
             work_buf: Vec::new(),
             trace: false,
             trace_buf: Vec::new(),
+            metrics: None,
             config,
         }
     }
@@ -360,6 +384,18 @@ impl IssueQueue {
     /// `true` when event tracing is enabled.
     pub fn tracing(&self) -> bool {
         self.trace
+    }
+
+    /// Turn metric histograms on or off. Off by default; when off the
+    /// queue takes no samples at all (the same guard discipline as
+    /// [`IssueQueue::set_tracing`]).
+    pub fn set_metrics(&mut self, on: bool) {
+        self.metrics = on.then(Box::<QueueMetrics>::default);
+    }
+
+    /// The collected histograms, if metrics are enabled.
+    pub fn metrics(&self) -> Option<&QueueMetrics> {
+        self.metrics.as_deref()
     }
 
     /// Move every buffered trace event into `out`, re-stamping each with
@@ -453,6 +489,8 @@ impl IssueQueue {
                 fused: false,
                 pending,
                 is_load: uop.is_load,
+                fetched_at: uop.fetched_at,
+                wrong_path: uop.wrong_path,
             });
         }
         self.entries[idx] = Some(Entry {
@@ -467,6 +505,7 @@ impl IssueQueue {
             hold_until: 0,
             confirm_at: None,
             spec_broadcast: false,
+            woken_at: None,
             uops: vec![uop],
         });
         Ok(EntryId { index: idx, gen })
@@ -519,6 +558,8 @@ impl IssueQueue {
                 fused: true,
                 pending: false,
                 is_load: tail.is_load,
+                fetched_at: tail.fetched_at,
+                wrong_path: tail.wrong_path,
             });
         }
         Ok(())
@@ -586,7 +627,11 @@ impl IssueQueue {
                 self.free.push(idx);
             }
         }
-        self.stats.occupancy_integral += self.occupancy() as u64;
+        let occ = self.occupancy() as u64;
+        self.stats.occupancy_integral += occ;
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.occupancy.record(occ);
+        }
 
         let select_free = self.config.kind.broadcasts_at_wakeup();
 
@@ -638,6 +683,13 @@ impl IssueQueue {
             }
             if e.srcs.iter().all(|&t| self.tags.ready(t, now)) {
                 requesters.push((e.age, idx));
+                if self.metrics.is_some() {
+                    if let Some(e) = self.entries[idx].as_mut() {
+                        if e.woken_at.is_none() {
+                            e.woken_at = Some(now);
+                        }
+                    }
+                }
             }
         }
         requesters.sort_unstable();
@@ -758,6 +810,9 @@ impl IssueQueue {
             e.state = EntryState::Issued;
             e.confirm_at =
                 Some(now + u64::from(self.config.confirm_window) + (e.uops.len() as u64 - 1));
+            if let Some(m) = self.metrics.as_deref_mut() {
+                m.wakeup_select_delay.record(now - e.woken_at.take().unwrap_or(now));
+            }
             self.stats.issued_entries += 1;
             self.stats.issued_uops += e.uops.len() as u64;
             out.push(Issued {
@@ -883,6 +938,7 @@ impl IssueQueue {
                 e.confirm_at = None;
                 e.spec_broadcast = false;
                 e.collided = false;
+                e.woken_at = None;
                 self.stats.load_replay_uops += e.uops.len() as u64;
                 replayed.extend(e.uops.iter().map(|u| u.id));
                 if let Some(d) = e.dst {
@@ -1491,6 +1547,62 @@ mod tests {
         let issued = q.cycle(10);
         assert_eq!(issued.len(), 1);
         assert_eq!(issued[0].uops[0].id, UopId(1));
+    }
+
+    #[test]
+    fn queue_metrics_reconcile_with_stats() {
+        let mut q = IssueQueue::new(cfg(SchedulerKind::Base));
+        q.set_metrics(true);
+        q.insert(alu(0, Some(100), &[])).unwrap();
+        q.insert(alu(1, Some(101), &[100])).unwrap();
+        q.insert(alu(2, None, &[101])).unwrap();
+        for now in 0..20 {
+            q.cycle(now);
+        }
+        let m = q.metrics().expect("metrics enabled");
+        let s = q.stats();
+        assert_eq!(m.occupancy.count(), s.cycles, "one occupancy sample per cycle");
+        assert_eq!(m.occupancy.sum(), s.occupancy_integral);
+        assert_eq!(
+            m.wakeup_select_delay.count(),
+            s.issued_entries,
+            "one delay sample per selected entry"
+        );
+        // An uncontended queue issues every requester the cycle it wakes.
+        assert_eq!(m.wakeup_select_delay.sum(), 0);
+        assert_eq!(m.wakeup_select_delay.max(), 0);
+    }
+
+    #[test]
+    fn wakeup_select_delay_counts_starved_cycles() {
+        // Single-issue queue: two leaves wake together, one waits a cycle.
+        let mut q = IssueQueue::new(SchedConfig {
+            kind: SchedulerKind::Base,
+            wakeup: WakeupStyle::WiredOr,
+            queue_entries: Some(32),
+            issue_width: 1,
+            ..SchedConfig::default()
+        });
+        q.set_metrics(true);
+        q.insert(alu(0, Some(100), &[])).unwrap();
+        q.insert(alu(1, Some(101), &[])).unwrap();
+        for now in 0..10 {
+            q.cycle(now);
+        }
+        let m = q.metrics().expect("metrics enabled");
+        assert_eq!(m.wakeup_select_delay.count(), 2);
+        assert_eq!(m.wakeup_select_delay.sum(), 1, "the loser waits one cycle");
+        assert_eq!(m.wakeup_select_delay.max(), 1);
+    }
+
+    #[test]
+    fn metrics_off_collects_nothing() {
+        let mut q = IssueQueue::new(cfg(SchedulerKind::Base));
+        q.insert(alu(0, Some(100), &[])).unwrap();
+        for now in 0..5 {
+            q.cycle(now);
+        }
+        assert!(q.metrics().is_none());
     }
 
     #[test]

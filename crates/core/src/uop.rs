@@ -56,6 +56,11 @@ pub struct SchedUop {
     pub sidx: u32,
     /// Figure-13 classification decided at formation.
     pub role: GroupRole,
+    /// Cycle the instruction was fetched (threaded through rename so the
+    /// `Rename` trace event can seed per-uop pipeline timelines).
+    pub fetched_at: u64,
+    /// Fetched while walking a mispredicted path.
+    pub wrong_path: bool,
 }
 
 impl SchedUop {
@@ -71,6 +76,8 @@ impl SchedUop {
             is_load: class == InstClass::Load,
             sidx: 0,
             role: GroupRole::NotGrouped,
+            fetched_at: 0,
+            wrong_path: false,
         }
     }
 }

@@ -62,6 +62,8 @@ fn to_renamed(i: usize, r: &RandInst) -> RenamedInst {
         pointer,
         is_candidate: class != InstClass::Load,
         is_valuegen: class != InstClass::Load && dst.is_some(),
+        fetched_at: 0,
+        wrong_path: false,
     }
 }
 

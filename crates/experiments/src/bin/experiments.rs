@@ -99,6 +99,7 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
         name: &'static str,
         wall_seconds: f64,
         sim_cycles: u64,
+        sim_commits: u64,
     }
 
     type Sweep = (&'static str, Box<dyn Fn()>);
@@ -113,25 +114,59 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     ];
 
     let mut entries = Vec::new();
-    runner::take_simulated_cycles(); // reset the counter
+    runner::take_simulated_cycles(); // reset the counters
+    runner::take_simulated_commits();
     let total_start = Instant::now();
     for (name, sweep) in &sweeps {
         let start = Instant::now();
         sweep();
         let wall_seconds = start.elapsed().as_secs_f64();
         let sim_cycles = runner::take_simulated_cycles();
+        let sim_commits = runner::take_simulated_commits();
         eprintln!(
-            "perf: {name:10} {wall_seconds:8.3}s  {sim_cycles:>12} cycles  {:>12.0} cycles/s",
+            "perf: {name:10} {wall_seconds:8.3}s  {sim_cycles:>12} cycles  {sim_commits:>12} committed  {:>12.0} cycles/s",
             sim_cycles as f64 / wall_seconds.max(1e-9)
         );
         entries.push(Entry {
             name,
             wall_seconds,
             sim_cycles,
+            sim_commits,
         });
     }
     let total_wall = total_start.elapsed().as_secs_f64();
     let total_cycles: u64 = entries.iter().map(|e| e.sim_cycles).sum();
+    let total_commits: u64 = entries.iter().map(|e| e.sim_commits).sum();
+
+    // On-vs-off observability overhead probe: the same job run plain,
+    // with interval metrics, and with full event tracing into a
+    // throwaway ring. Simulated cycle counts must agree (observation
+    // cannot change timing); wall-time deltas quantify the cost.
+    let probe = runner::Job::new(
+        "gzip",
+        mos_sim::MachineConfig::macro_op(mos_core::WakeupStyle::WiredOr, Some(32), 1),
+        insts,
+    );
+    let time_probe = |metrics: bool, tracing: bool| {
+        let start = Instant::now();
+        let stats = probe.run_observed(metrics, tracing);
+        (start.elapsed().as_secs_f64(), stats)
+    };
+    let (plain_s, plain) = time_probe(false, false);
+    let (metrics_s, metrics) = time_probe(true, false);
+    let (tracing_s, tracing) = time_probe(false, true);
+    assert_eq!(
+        plain.cycles, metrics.cycles,
+        "metrics collection must not change simulated timing"
+    );
+    assert_eq!(
+        plain.cycles, tracing.cycles,
+        "event tracing must not change simulated timing"
+    );
+    eprintln!(
+        "perf: observability probe (gzip mop-wor, {} cycles): plain {plain_s:.3}s, metrics {metrics_s:.3}s, tracing {tracing_s:.3}s",
+        plain.cycles
+    );
 
     // Hand-rolled JSON: the workspace deliberately has no serde_json.
     let mut json = String::from("{\n");
@@ -140,17 +175,25 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     json.push_str("  \"figures\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"sim_cycles\": {}, \"cycles_per_sec\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"sim_cycles\": {}, \"sim_commits\": {}, \"cycles_per_sec\": {:.1}}}{}\n",
             e.name,
             e.wall_seconds,
             e.sim_cycles,
+            e.sim_commits,
             e.sim_cycles as f64 / e.wall_seconds.max(1e-9),
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
+    json.push_str("  \"observability\": {\n");
+    json.push_str(&format!("    \"probe_sim_cycles\": {},\n", plain.cycles));
+    json.push_str(&format!(
+        "    \"plain_wall_seconds\": {plain_s:.6},\n    \"metrics_wall_seconds\": {metrics_s:.6},\n    \"tracing_wall_seconds\": {tracing_s:.6}\n"
+    ));
+    json.push_str("  },\n");
     json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
     json.push_str(&format!("  \"total_sim_cycles\": {total_cycles},\n"));
+    json.push_str(&format!("  \"total_sim_commits\": {total_commits},\n"));
     json.push_str(&format!(
         "  \"total_cycles_per_sec\": {:.1}\n",
         total_cycles as f64 / total_wall.max(1e-9)

@@ -83,7 +83,27 @@ impl Job {
         let trace = program.walk(self.seed ^ 0x9e37_79b9_7f4a_7c15);
         let stats = Simulator::new(self.cfg.clone(), trace).run(self.insts);
         SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+        SIM_COMMITS.fetch_add(stats.committed, Ordering::Relaxed);
         stats
+    }
+
+    /// [`Job::run`] with observability layers switched on: interval
+    /// metrics (10k-cycle snapshots) and/or full event tracing into a
+    /// throwaway ring. Used by the `experiments perf` on-vs-off overhead
+    /// probe; does not touch the global cycle/commit counters.
+    pub fn run_observed(&self, metrics: bool, tracing: bool) -> SimStats {
+        let spec = spec2000::by_name(self.bench)
+            .unwrap_or_else(|| panic!("unknown benchmark `{}`", self.bench));
+        let program = cached_program(&spec, self.seed);
+        let trace = program.walk(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut sim = Simulator::new(self.cfg.clone(), trace);
+        if metrics {
+            sim.enable_metrics(mos_sim::metrics::DEFAULT_INTERVAL);
+        }
+        if tracing {
+            sim.set_event_sink(Box::new(mos_sim::RingSink::new(4_096)));
+        }
+        sim.run(self.insts)
     }
 
     /// [`Job::run`] with event tracing enabled and the stream delivered
@@ -100,6 +120,7 @@ impl Job {
         sim.set_event_sink(sink);
         let stats = sim.run(self.insts);
         SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+        SIM_COMMITS.fetch_add(stats.committed, Ordering::Relaxed);
         stats
     }
 }
@@ -109,9 +130,18 @@ impl Job {
 /// cycles-per-second metric; purely observational).
 static SIM_CYCLES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
+/// Committed instructions accumulated alongside [`SIM_CYCLES`] (the
+/// per-figure committed counts in `experiments perf` output).
+static SIM_COMMITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 /// Read and reset the global simulated-cycle counter.
 pub fn take_simulated_cycles() -> u64 {
     SIM_CYCLES.swap(0, Ordering::Relaxed)
+}
+
+/// Read and reset the global committed-instruction counter.
+pub fn take_simulated_commits() -> u64 {
+    SIM_COMMITS.swap(0, Ordering::Relaxed)
 }
 
 /// Process-wide cache of generated synthetic programs, keyed by
@@ -191,6 +221,7 @@ pub fn run_config(spec: &WorkloadSpec, cfg: MachineConfig, insts: u64) -> SimSta
     let trace = program.walk(SEED ^ 0x9e37_79b9_7f4a_7c15);
     let stats = Simulator::new(cfg, trace).run(insts);
     SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+    SIM_COMMITS.fetch_add(stats.committed, Ordering::Relaxed);
     stats
 }
 

@@ -39,10 +39,19 @@ impl SharedRing {
     pub fn total_seen(&self) -> u64 {
         self.0.borrow().total_seen()
     }
+
+    /// Events silently discarded because the bounded ring wrapped.
+    pub fn dropped(&self) -> u64 {
+        self.0.borrow().dropped_count()
+    }
 }
 
 impl EventSink for SharedRing {
     fn emit(&mut self, ev: &TraceEvent) {
         self.0.borrow_mut().emit(ev);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.0.borrow().dropped_count()
     }
 }

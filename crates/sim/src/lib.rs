@@ -41,13 +41,17 @@
 
 mod config;
 pub mod events;
+pub mod metrics;
 pub mod oracle;
+pub mod report;
 mod sim;
 mod stats;
 pub mod timeline;
 
 pub use config::MachineConfig;
 pub use events::{EventCounts, EventSink, RingSink, SharedRing, TraceEvent};
+pub use metrics::SimMetrics;
 pub use oracle::{InvariantOracle, OracleMode, Violation};
+pub use report::RunReport;
 pub use sim::Simulator;
 pub use stats::SimStats;

@@ -604,11 +604,13 @@ mod tests {
             cycle: 10,
             id: UopId(4),
             sidx: 0,
+            complete_at: 9,
         });
         oracle.emit(&TraceEvent::Commit {
             cycle: 11,
             id: UopId(3),
             sidx: 1,
+            complete_at: 9,
         });
         assert_eq!(oracle.violations().len(), 1);
         assert!(oracle.violations()[0].message.contains("out of program order"));

@@ -15,6 +15,7 @@ use mos_uarch::cache::Cache;
 
 use crate::config::MachineConfig;
 use crate::events::{EventSink, TraceEvent};
+use crate::metrics::{Cum, SimMetrics};
 use crate::oracle::{InvariantOracle, OracleMode};
 use crate::stats::SimStats;
 use crate::timeline::Timeline;
@@ -123,7 +124,12 @@ pub struct Simulator<T: TraceSource> {
     now: u64,
     last_commit_cycle: u64,
     stats: SimStats,
+    /// Per-instruction pipeline timelines, fed from the trace-event
+    /// stream (enabling it enables tracing).
     timeline: Option<Timeline>,
+    /// Interval metric snapshots; `None` (the default) costs one
+    /// `is_some()` check per cycle.
+    metrics: Option<Box<SimMetrics>>,
 
     // Event tracing. `tracing` is the single gate: when false (release
     // default) no event value is ever constructed anywhere in the
@@ -175,6 +181,7 @@ impl<T: TraceSource> Simulator<T> {
             last_commit_cycle: 0,
             stats: SimStats::default(),
             timeline: None,
+            metrics: None,
             tracing: false,
             sink: None,
             orc: None,
@@ -221,16 +228,20 @@ impl<T: TraceSource> Simulator<T> {
         self.queue.set_tracing(true);
     }
 
-    /// Count an event and deliver it to the sink and the oracle. An
-    /// associated fn so call sites can hold disjoint borrows of other
-    /// `self` fields.
+    /// Count an event and deliver it to the timeline, the sink and the
+    /// oracle. An associated fn so call sites can hold disjoint borrows
+    /// of other `self` fields.
     fn emit(
         stats: &mut SimStats,
+        timeline: &mut Option<Timeline>,
         sink: &mut Option<Box<dyn EventSink>>,
         orc: &mut Option<InvariantOracle>,
         ev: TraceEvent,
     ) {
         stats.events.record(&ev);
+        if let Some(t) = timeline {
+            t.observe(&ev);
+        }
         if let Some(s) = sink {
             s.emit(&ev);
         }
@@ -249,7 +260,13 @@ impl<T: TraceSource> Simulator<T> {
         let mut buf = std::mem::take(&mut self.trace_buf);
         self.queue.drain_trace_into(self.now, &mut buf);
         for ev in buf.drain(..) {
-            Self::emit(&mut self.stats, &mut self.sink, &mut self.orc, ev);
+            Self::emit(
+                &mut self.stats,
+                &mut self.timeline,
+                &mut self.sink,
+                &mut self.orc,
+                ev,
+            );
         }
         self.trace_buf = buf;
     }
@@ -290,6 +307,7 @@ impl<T: TraceSource> Simulator<T> {
         s.pointers = self.pointers.stats();
         s.il1 = self.il1.stats();
         s.l2 = self.l2.stats();
+        s.events.dropped = self.sink.as_ref().map_or(0, |k| k.dropped());
         s
     }
 
@@ -299,15 +317,75 @@ impl<T: TraceSource> Simulator<T> {
     }
 
     /// Record per-instruction pipeline timelines for the first `cap`
-    /// uops entering the pipe (see [`crate::timeline::Timeline`]).
+    /// uops entering the pipe (see [`crate::timeline::Timeline`]). The
+    /// timelines are reconstructed from the trace-event stream, so this
+    /// enables event tracing for the rest of the run.
     pub fn enable_timeline(&mut self, cap: usize) {
         self.timeline = Some(Timeline::new(cap));
+        self.enable_tracing();
     }
 
     /// The recorded timelines, if [`Simulator::enable_timeline`] was
     /// called.
     pub fn timeline(&self) -> Option<&Timeline> {
         self.timeline.as_ref()
+    }
+
+    /// Collect interval metric snapshots every `interval` cycles (see
+    /// [`crate::metrics::SimMetrics`]) and turn on the issue queue's
+    /// histograms. Unlike tracing this does not construct events; the
+    /// per-cycle cost is a couple of histogram increments.
+    pub fn enable_metrics(&mut self, interval: u64) {
+        self.queue.set_metrics(true);
+        self.metrics = Some(Box::new(SimMetrics::new(interval)));
+    }
+
+    /// Close the final partial interval row (idempotent; call after
+    /// [`Simulator::run`] and before reading [`Simulator::metrics`]).
+    pub fn finish_metrics(&mut self) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let cum = self.cumulative();
+        let now = self.now;
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.finish(now, cum);
+        }
+    }
+
+    /// The interval metric collector, if [`Simulator::enable_metrics`]
+    /// was called.
+    pub fn metrics(&self) -> Option<&SimMetrics> {
+        self.metrics.as_deref()
+    }
+
+    /// The issue queue's metric histograms, if metrics are enabled.
+    pub fn queue_metrics(&self) -> Option<&mos_core::queue::QueueMetrics> {
+        self.queue.metrics()
+    }
+
+    /// Gather the cumulative counter values the interval series rows are
+    /// deltas of.
+    fn cumulative(&self) -> Cum {
+        let q = self.queue.stats();
+        let p = self.pointers.stats();
+        let (delay_sum, delay_count) = self
+            .queue
+            .metrics()
+            .map_or((0, 0), |m| (m.wakeup_select_delay.sum(), m.wakeup_select_delay.count()));
+        Cum {
+            cycles: self.now,
+            committed: self.stats.committed,
+            grouped: self.stats.roles[SimStats::role_index(GroupRole::MopIndependent)]
+                + self.stats.roles[SimStats::role_index(GroupRole::MopNonValueGen)]
+                + self.stats.roles[SimStats::role_index(GroupRole::MopValueGen)],
+            replayed_uops: q.load_replay_uops,
+            pointer_hits: self.stats.pointer_hits,
+            pointer_evicts: p.1 + p.2,
+            occupancy_integral: q.occupancy_integral,
+            delay_sum,
+            delay_count,
+        }
     }
 
     fn rob_index(&self, id: UopId) -> Option<usize> {
@@ -338,6 +416,7 @@ impl<T: TraceSource> Simulator<T> {
             for &(head_sidx, line) in &installs {
                 Self::emit(
                     &mut self.stats,
+                    &mut self.timeline,
                     &mut self.sink,
                     &mut self.orc,
                     TraceEvent::PointerInstall {
@@ -368,6 +447,15 @@ impl<T: TraceSource> Simulator<T> {
         if now.is_multiple_of(4096) {
             self.queue.prune_tags(4096);
         }
+
+        // 6. Interval metric snapshot, landing exactly on multiples of
+        // the interval (the clock advances one cycle per step).
+        if self.metrics.as_deref().is_some_and(|m| m.due(now)) {
+            let cum = self.cumulative();
+            if let Some(m) = self.metrics.as_deref_mut() {
+                m.sample(now, cum);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -394,6 +482,7 @@ impl<T: TraceSource> Simulator<T> {
                 for &head_sidx in &dropped {
                     Self::emit(
                         &mut self.stats,
+                        &mut self.timeline,
                         &mut self.sink,
                         &mut self.orc,
                         TraceEvent::PointerEvict {
@@ -465,6 +554,9 @@ impl<T: TraceSource> Simulator<T> {
             } else {
                 None
             };
+            if pointer.is_some() {
+                self.stats.pointer_hits += 1;
+            }
 
             self.stats.fetched += 1;
             if self.wrong_path {
@@ -473,6 +565,7 @@ impl<T: TraceSource> Simulator<T> {
             if self.tracing {
                 Self::emit(
                     &mut self.stats,
+                    &mut self.timeline,
                     &mut self.sink,
                     &mut self.orc,
                     TraceEvent::Fetch {
@@ -485,6 +578,7 @@ impl<T: TraceSource> Simulator<T> {
                 if let Some(p) = pointer {
                     Self::emit(
                         &mut self.stats,
+                        &mut self.timeline,
                         &mut self.sink,
                         &mut self.orc,
                         TraceEvent::PointerHit {
@@ -599,9 +693,6 @@ impl<T: TraceSource> Simulator<T> {
             }
             let id = UopId(self.next_id);
             self.next_id += 1;
-            if let Some(t) = self.timeline.as_mut() {
-                t.record_insert(id.0, fi.sidx, group.fetched_at, now, fi.dyn_.is_none());
-            }
 
             let renamed = RenamedInst {
                 id,
@@ -617,6 +708,8 @@ impl<T: TraceSource> Simulator<T> {
                 pointer: fi.pointer,
                 is_candidate: inst.is_mop_candidate(),
                 is_valuegen: inst.is_value_generating_candidate(),
+                fetched_at: group.fetched_at,
+                wrong_path: fi.dyn_.is_none(),
             };
             let items = self.former.feed(&renamed);
             let role = self.apply_form_items(items);
@@ -681,6 +774,7 @@ impl<T: TraceSource> Simulator<T> {
                 if self.tracing {
                     Self::emit(
                         &mut self.stats,
+                        &mut self.timeline,
                         &mut self.sink,
                         &mut self.orc,
                         TraceEvent::MopDetect {
@@ -789,14 +883,11 @@ impl<T: TraceSource> Simulator<T> {
                     self.rob[idx].load_tag = Some(t);
                 }
             }
-            if let Some(t) = self.timeline.as_mut() {
-                let mop_head = is_mop.then(|| iss.uops[0].id.0);
-                t.record_issue(uop.id.0, iss.issue_cycle, mop_head);
-            }
             let exec_at = iss.issue_cycle + u64::from(self.cfg.exec_offset) + k as u64;
             if self.tracing {
                 Self::emit(
                     &mut self.stats,
+                    &mut self.timeline,
                     &mut self.sink,
                     &mut self.orc,
                     TraceEvent::Issue {
@@ -847,6 +938,7 @@ impl<T: TraceSource> Simulator<T> {
                 if deleted && self.tracing {
                     Self::emit(
                         &mut self.stats,
+                        &mut self.timeline,
                         &mut self.sink,
                         &mut self.orc,
                         TraceEvent::PointerEvict {
@@ -909,9 +1001,6 @@ impl<T: TraceSource> Simulator<T> {
         }
         let class = self.rob[idx].class;
         let dyn_ = self.rob[idx].dyn_;
-        if let Some(t) = self.timeline.as_mut() {
-            t.record_exec(id.0, now);
-        }
         match class {
             InstClass::Load => {
                 let (latency, hit) = match dyn_.and_then(|d| d.eff_addr) {
@@ -1003,6 +1092,7 @@ impl<T: TraceSource> Simulator<T> {
             let branch_sidx = self.rob[idx].sidx;
             Self::emit(
                 &mut self.stats,
+                &mut self.timeline,
                 &mut self.sink,
                 &mut self.orc,
                 TraceEvent::Squash {
@@ -1055,20 +1145,16 @@ impl<T: TraceSource> Simulator<T> {
             if self.tracing {
                 Self::emit(
                     &mut self.stats,
+                    &mut self.timeline,
                     &mut self.sink,
                     &mut self.orc,
                     TraceEvent::Commit {
                         cycle: now,
                         id: head.id,
                         sidx: head.sidx,
+                        complete_at: head.complete_at.unwrap_or(now),
                     },
                 );
-            }
-            if let Some(t) = self.timeline.as_mut() {
-                if let Some(c) = head.complete_at {
-                    t.record_complete(head.id.0, c);
-                }
-                t.record_commit(head.id.0, now);
             }
             self.stats.roles[SimStats::role_index(head.role)] += 1;
             match head.class {

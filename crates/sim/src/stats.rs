@@ -49,6 +49,9 @@ pub struct SimStats {
     pub form: FormStats,
     /// MOP pointer store: (installs, line invalidations, filter deletes).
     pub pointers: (u64, u64, u64),
+    /// Fetched instructions delivered with a stored MOP pointer attached
+    /// (the pointer-cache hit count feeding the pairing rate).
+    pub pointer_hits: u64,
     /// MOP entries (fused pairs/chains) issued.
     pub mop_entries_issued: u64,
     /// Times the last-arriving-operand filter deleted a pointer.
@@ -181,8 +184,9 @@ impl SimStats {
             );
             let _ = writeln!(
                 s,
-                "pointers: {} installed, {} dropped with I-cache lines, {} filtered (last-arriving), {} pairs fused / {} cancelled",
+                "pointers: {} installed, {} hits at fetch, {} dropped with I-cache lines, {} filtered (last-arriving), {} pairs fused / {} cancelled",
                 self.pointers.0,
+                self.pointer_hits,
                 self.pointers.1,
                 self.pointers.2,
                 self.form.fused_pairs,
@@ -210,6 +214,13 @@ impl SimStats {
                 self.events.commit,
                 self.events.squash
             );
+            if self.events.dropped > 0 {
+                let _ = writeln!(
+                    s,
+                    "events: {} DROPPED by the bounded ring (raise --last to keep them)",
+                    self.events.dropped
+                );
+            }
         }
         s
     }

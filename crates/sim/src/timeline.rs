@@ -8,6 +8,8 @@ use std::fmt::Write as _;
 
 use mos_isa::Program;
 
+use crate::events::TraceEvent;
+
 /// Timeline of one micro-operation through the pipe.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UopTimeline {
@@ -119,10 +121,47 @@ impl Timeline {
         }
     }
 
+    /// Consume one trace event. The timeline is a pure observer of the
+    /// event stream: `Rename` seeds an entry (the stream stamps it with
+    /// the insert cycle), `Select` records (re)issues and MOP membership,
+    /// `Issue` pins the execute cycle (the last issue wins, matching
+    /// replay semantics), and `Commit` closes the entry.
+    pub(crate) fn observe(&mut self, ev: &TraceEvent) {
+        match *ev {
+            TraceEvent::Rename {
+                cycle,
+                id,
+                sidx,
+                fetched_at,
+                wrong_path,
+                ..
+            } => self.record_insert(id.0, sidx, fetched_at, cycle, wrong_path),
+            TraceEvent::Select { cycle, ref uops, .. } => {
+                let head = (uops.len() > 1).then(|| uops[0].0);
+                for u in uops {
+                    self.record_issue(u.0, cycle, head);
+                }
+            }
+            TraceEvent::Issue { id, exec_at, .. } => self.record_exec(id.0, exec_at),
+            TraceEvent::Commit {
+                cycle,
+                id,
+                complete_at,
+                ..
+            } => {
+                self.record_complete(id.0, complete_at);
+                self.record_commit(id.0, cycle);
+            }
+            _ => {}
+        }
+    }
+
     /// Export in the Kanata pipeline-visualizer log format (version 4),
-    /// loadable by the Konata viewer. Stages: `F` fetch, `Q` front end,
-    /// `S` scheduler wait, `X` execute, `C` awaiting commit. Wrong-path
-    /// uops are emitted as retired-flushed records.
+    /// loadable by the Konata viewer. Stages: `F` fetch, `Q` front end
+    /// and scheduler wait, `X` execute, `R` replay wait (a cancelled
+    /// issue awaiting re-selection), `C` awaiting commit. Wrong-path
+    /// uops are emitted as retired-flushed records; fused MOP members
+    /// carry a `MOP head` label line.
     pub fn to_kanata(&self, program: &Program) -> String {
         let mut out = String::from("Kanata\t0004\n");
         let base = self.entries.first().map(|e| e.fetched_at).unwrap_or(0);
@@ -146,9 +185,20 @@ impl Timeline {
             let _ = writeln!(out, "S\t{seq}\t0\tF");
             let _ = writeln!(out, "E\t{seq}\t{}\tF", rel(e.inserted_at));
             let _ = writeln!(out, "S\t{seq}\t{}\tQ", rel(e.inserted_at));
-            if let Some(issue) = e.last_issue() {
-                let _ = writeln!(out, "E\t{seq}\t{}\tQ", rel(issue));
-                let _ = writeln!(out, "S\t{seq}\t{}\tX", rel(issue));
+            if let Some(&first) = e.issues.first() {
+                let _ = writeln!(out, "E\t{seq}\t{}\tQ", rel(first));
+                // Cancelled issues (load replays) render as a one-cycle
+                // `X` attempt followed by an `R` wait until re-selection.
+                for w in e.issues.windows(2) {
+                    let _ = writeln!(out, "S\t{seq}\t{}\tX", rel(w[0]));
+                    let _ = writeln!(out, "E\t{seq}\t{}\tX", rel(w[0]) + 1);
+                    if rel(w[1]) > rel(w[0]) + 1 {
+                        let _ = writeln!(out, "S\t{seq}\t{}\tR", rel(w[0]) + 1);
+                        let _ = writeln!(out, "E\t{seq}\t{}\tR", rel(w[1]));
+                    }
+                }
+                let last = e.last_issue().expect("non-empty issues");
+                let _ = writeln!(out, "S\t{seq}\t{}\tX", rel(last));
                 if let Some(x) = e.exec_at {
                     let _ = writeln!(out, "E\t{seq}\t{}\tX", rel(x) + 1);
                     let _ = writeln!(out, "S\t{seq}\t{}\tC", rel(x) + 1);
@@ -261,6 +311,83 @@ mod tests {
         assert!(k.contains("R\t0\t0\t0"), "committed record: {k}");
         assert!(k.contains("R\t1\t1\t1"), "flushed record: {k}");
         assert!(k.contains("S\t0\t0\tF"));
+    }
+
+    #[test]
+    fn replayed_issues_get_replay_lanes() {
+        use mos_isa::{Program, StaticInst};
+        let mut p = Program::new("t");
+        p.push(StaticInst::nop());
+        let mut t = Timeline::new(2);
+        t.record_insert(0, 0, 0, 4, false);
+        t.record_issue(0, 5, None);
+        t.record_issue(0, 12, None); // replayed: a second selection
+        t.record_exec(0, 17);
+        t.record_commit(0, 19);
+        let k = t.to_kanata(&p);
+        assert!(k.contains("S\t0\t5\tX"), "first attempt starts X: {k}");
+        assert!(k.contains("S\t0\t6\tR"), "replay wait lane opens: {k}");
+        assert!(k.contains("E\t0\t12\tR"), "replay wait ends at re-issue: {k}");
+        assert!(k.contains("S\t0\t12\tX"), "final issue re-enters X: {k}");
+    }
+
+    #[test]
+    fn observe_rebuilds_stage_times_from_events() {
+        use mos_core::queue::IssueQueue;
+        use mos_core::{SchedConfig, SchedUop, Tag, UopId};
+        let mut t = Timeline::new(4);
+        // Only the id-bearing fields matter to the observer; a real queue
+        // insert is the sanctioned way to mint an EntryId.
+        let entry = IssueQueue::new(SchedConfig::default())
+            .insert(SchedUop::leaf(
+                UopId(0),
+                mos_isa::InstClass::IntAlu,
+                Some(Tag(0)),
+            ))
+            .unwrap();
+        t.observe(&TraceEvent::Rename {
+            cycle: 6,
+            id: UopId(0),
+            sidx: 0,
+            entry,
+            dst: Some(Tag(0)),
+            srcs: Vec::new(),
+            fused: false,
+            pending: false,
+            is_load: false,
+            fetched_at: 1,
+            wrong_path: false,
+        });
+        t.observe(&TraceEvent::Select {
+            cycle: 8,
+            entry,
+            uops: vec![UopId(0)],
+            srcs: Vec::new(),
+            dst: Some(Tag(0)),
+            latency: 1,
+            is_load: false,
+        });
+        t.observe(&TraceEvent::Issue {
+            cycle: 8,
+            id: UopId(0),
+            sidx: 0,
+            exec_at: 13,
+            mop: false,
+        });
+        t.observe(&TraceEvent::Commit {
+            cycle: 15,
+            id: UopId(0),
+            sidx: 0,
+            complete_at: 14,
+        });
+        let e = &t.entries()[0];
+        assert_eq!(e.fetched_at, 1);
+        assert_eq!(e.inserted_at, 6);
+        assert_eq!(e.last_issue(), Some(8));
+        assert_eq!(e.exec_at, Some(13));
+        assert_eq!(e.complete_at, Some(14));
+        assert_eq!(e.commit_at, Some(15));
+        assert_eq!(e.mop_head, None, "a singleton select carries no head");
     }
 
     #[test]

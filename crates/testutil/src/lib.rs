@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use mos_isa::TraceSource;
 use mos_sim::timeline::UopTimeline;
 use mos_sim::{MachineConfig, SharedRing, SimStats, Simulator};

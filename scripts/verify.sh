@@ -5,6 +5,7 @@
 #      scheduling-invariant oracle, so this is also the timing suite)
 #   3. clippy, warnings denied
 #   4. `mossim trace --check` smoke per scheduler model
+#   5. `mossim report --json` + `mossim pipeview` smoke per scheduler model
 # Optional extras with --full: jobs-determinism check + perf snapshot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +26,19 @@ for sched in base 2cycle mop-wor; do
         > "/tmp/verify_trace_${sched}.txt"
     grep -q "no scheduling-invariant violations" "/tmp/verify_trace_${sched}.txt"
     echo "  $sched: oracle clean"
+done
+
+echo "== report/pipeview smoke (atomic / pipelined / macro-op) =="
+for sched in base 2cycle mop-wor; do
+    ./target/release/mossim report --bench gzip --sched "$sched" \
+        --insts 10000 --json "/tmp/verify_report_${sched}.json" \
+        > "/tmp/verify_report_${sched}.md"
+    grep -q "# mossim run report" "/tmp/verify_report_${sched}.md"
+    grep -q '"series":{"interval":10000' "/tmp/verify_report_${sched}.json"
+    ./target/release/mossim pipeview --bench gzip --sched "$sched" \
+        --insts 10000 --uops 64 --out "/tmp/verify_pipeview_${sched}.kanata"
+    head -1 "/tmp/verify_pipeview_${sched}.kanata" | grep -q "Kanata"
+    echo "  $sched: report + pipeview ok"
 done
 
 if [[ "${1:-}" == "--full" ]]; then

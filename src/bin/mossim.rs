@@ -2,7 +2,7 @@
 //! the full statistics report.
 //!
 //! ```text
-//! mossim [trace] [options]
+//! mossim [trace|report|pipeview] [options]
 //!   --bench NAME        benchmark model (default gzip) or kernel with --kernel
 //!   --kernel NAME       run an assembly kernel instead of a benchmark model
 //!   --sched KIND        base | 2cycle | mop-2src | mop-wor | sf-squash |
@@ -21,21 +21,45 @@
 //!   --last N            ring-buffer capacity (default 4096)
 //!   --check             run the scheduling-invariant oracle over the
 //!                       stream; print violations and exit nonzero
+//!
+//! report mode (interval metrics + run report):
+//!   --interval N        metric snapshot interval in cycles (default 10000)
+//!   --json FILE         also write the report as one JSON document
+//!                       (Markdown always goes to stdout)
+//!
+//! pipeview mode (per-instruction pipeline trace):
+//!   --uops N            record the first N uops (default 256)
+//!   --out FILE          write Kanata log to FILE instead of stdout
+//!                       (open it in Konata or any Kanata viewer)
 //! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
 use mopsched::core::WakeupStyle;
 use mopsched::isa::{Program, TraceSource};
+use mopsched::sim::metrics::DEFAULT_INTERVAL;
+use mopsched::sim::report::{HostProfile, RunMeta, RunReport};
 use mopsched::sim::{MachineConfig, OracleMode, SharedRing, Simulator};
 use mopsched::{asm, workload};
 
 fn parse() -> Result<Args, String> {
     let mut a = Args::default();
     let mut it = std::env::args().skip(1).peekable();
-    if it.peek().is_some_and(|f| f == "trace") {
-        it.next();
-        a.trace = true;
+    match it.peek().map(String::as_str) {
+        Some("trace") => {
+            it.next();
+            a.trace = true;
+        }
+        Some("report") => {
+            it.next();
+            a.report = true;
+        }
+        Some("pipeview") => {
+            it.next();
+            a.pipeview = true;
+        }
+        _ => {}
     }
     while let Some(flag) = it.next() {
         let mut val = |name: &str| {
@@ -68,13 +92,24 @@ fn parse() -> Result<Args, String> {
             }
             "--ideal-branch" => a.ideal_branch = true,
             "--ideal-memory" => a.ideal_memory = true,
-            "--out" if a.trace => a.out = val("--out")?,
+            "--out" if a.trace || a.pipeview => a.out = Some(val("--out")?),
             "--last" if a.trace => {
                 a.last = val("--last")?
                     .parse()
                     .map_err(|e| format!("--last: {e}"))?
             }
             "--check" if a.trace => a.check = true,
+            "--interval" if a.report => {
+                a.interval = val("--interval")?
+                    .parse()
+                    .map_err(|e| format!("--interval: {e}"))?
+            }
+            "--json" if a.report => a.json = Some(val("--json")?),
+            "--uops" if a.pipeview => {
+                a.uops = val("--uops")?
+                    .parse()
+                    .map_err(|e| format!("--uops: {e}"))?
+            }
             "--timeline" => {
                 a.timeline = val("--timeline")?
                     .parse()
@@ -99,9 +134,14 @@ struct Args {
     ideal_memory: bool,
     timeline: usize,
     trace: bool,
-    out: String,
+    report: bool,
+    pipeview: bool,
+    out: Option<String>,
     last: usize,
     check: bool,
+    interval: u64,
+    json: Option<String>,
+    uops: usize,
 }
 
 impl Default for Args {
@@ -118,9 +158,14 @@ impl Default for Args {
             ideal_memory: false,
             timeline: 0,
             trace: false,
-            out: "trace.jsonl".into(),
+            report: false,
+            pipeview: false,
+            out: None,
             last: 4096,
             check: false,
+            interval: DEFAULT_INTERVAL,
+            json: None,
+            uops: 256,
         }
     }
 }
@@ -171,7 +216,82 @@ fn config(a: &Args) -> Result<MachineConfig, String> {
     Ok(cfg)
 }
 
-fn run<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, program: Program) -> bool {
+/// Run `report` mode: simulate with interval metrics on, print the
+/// Markdown report, optionally also write the JSON document.
+fn run_report<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, build_seconds: f64) -> bool {
+    let mut sim = Simulator::new(cfg, trace);
+    sim.enable_metrics(a.interval);
+    let t = Instant::now();
+    sim.run(a.insts);
+    let sim_seconds = t.elapsed().as_secs_f64();
+    let meta = RunMeta {
+        bench: a.kernel.clone().unwrap_or_else(|| a.bench.clone()),
+        sched: a.sched.clone(),
+        insts: a.insts,
+        seed: a.seed,
+        interval: a.interval,
+    };
+    let profile = HostProfile {
+        build_seconds,
+        sim_seconds,
+        render_seconds: 0.0,
+    };
+    let t = Instant::now();
+    let mut report = RunReport::collect(&mut sim, meta, profile);
+    let _ = report.to_markdown(); // timed dry run; re-render below with the cost filled in
+    report.profile.render_seconds = t.elapsed().as_secs_f64();
+    print!("{}", report.to_markdown());
+    if let Some(path) = &a.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: writing {path}: {e}");
+            return false;
+        }
+        eprintln!("report: wrote JSON to {path}");
+    }
+    true
+}
+
+/// Run `pipeview` mode: record the first `--uops` timelines and emit
+/// them as a Kanata log for Konata.
+fn run_pipeview<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, program: &Program) -> bool {
+    let mut sim = Simulator::new(cfg, trace);
+    sim.enable_timeline(a.uops);
+    sim.run(a.insts);
+    let kanata = sim.timeline().expect("timeline enabled").to_kanata(program);
+    match &a.out {
+        Some(path) => match std::fs::write(path, &kanata) {
+            Ok(()) => {
+                eprintln!(
+                    "pipeview: wrote {} uop timelines to {path} (open in Konata)",
+                    sim.timeline().expect("timeline enabled").entries().len()
+                );
+                true
+            }
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                false
+            }
+        },
+        None => {
+            print!("{kanata}");
+            true
+        }
+    }
+}
+
+fn run<T: TraceSource>(
+    a: &Args,
+    cfg: MachineConfig,
+    trace: T,
+    program: Program,
+    build_seconds: f64,
+) -> bool {
+    if a.report {
+        return run_report(a, cfg, trace, build_seconds);
+    }
+    if a.pipeview {
+        return run_pipeview(a, cfg, trace, &program);
+    }
     let mut sim = Simulator::new(cfg, trace);
     if a.timeline > 0 {
         sim.enable_timeline(a.timeline);
@@ -191,17 +311,25 @@ fn run<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, program: Program)
         print!("{}", t.render(&program));
     }
     if let Some(ring) = ring {
-        match std::fs::write(&a.out, ring.to_jsonl()) {
+        let out = a.out.as_deref().unwrap_or("trace.jsonl");
+        match std::fs::write(out, ring.to_jsonl()) {
             Ok(()) => println!(
                 "trace: kept the last {} of {} events in {}",
                 ring.with(|r| r.len()),
                 ring.total_seen(),
-                a.out
+                out
             ),
             Err(e) => {
-                eprintln!("error: writing {}: {e}", a.out);
+                eprintln!("error: writing {out}: {e}");
                 return false;
             }
+        }
+        if ring.dropped() > 0 {
+            eprintln!(
+                "warning: {} events were dropped by the bounded ring; \
+                 raise --last to keep them",
+                ring.dropped()
+            );
         }
     }
     if a.check {
@@ -245,6 +373,9 @@ fn main() -> ExitCode {
         }
     };
 
+    // report prints Markdown and pipeview prints Kanata to stdout, so
+    // the human banner is suppressed for both.
+    let banner = !a.report && !a.pipeview;
     if let Some(kname) = &a.kernel {
         let Some(kernel) = workload::kernels::by_name(kname) else {
             eprintln!(
@@ -253,14 +384,14 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         };
-        println!("kernel `{kname}`, scheduler {}, queue {:?}\n", a.sched, cfg.sched.queue_entries);
+        if banner {
+            println!("kernel `{kname}`, scheduler {}, queue {:?}\n", a.sched, cfg.sched.queue_entries);
+        }
+        let build = Instant::now();
         let image = kernel.image();
-        if !run(
-            &a,
-            cfg,
-            asm::Interpreter::new(&image),
-            image.program.clone(),
-        ) {
+        let program = image.program.clone();
+        let interp = asm::Interpreter::new(&image);
+        if !run(&a, cfg, interp, program, build.elapsed().as_secs_f64()) {
             return ExitCode::FAILURE;
         }
     } else {
@@ -272,13 +403,16 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         };
-        println!(
-            "benchmark `{}` (seed {}), scheduler {}, queue {:?}, {} insts\n",
-            a.bench, a.seed, a.sched, cfg.sched.queue_entries, a.insts
-        );
+        if banner {
+            println!(
+                "benchmark `{}` (seed {}), scheduler {}, queue {:?}, {} insts\n",
+                a.bench, a.seed, a.sched, cfg.sched.queue_entries, a.insts
+            );
+        }
+        let build = Instant::now();
         let trace = spec.trace(a.seed);
         let program = trace.program().clone();
-        if !run(&a, cfg, trace, program) {
+        if !run(&a, cfg, trace, program, build.elapsed().as_secs_f64()) {
             return ExitCode::FAILURE;
         }
     }

@@ -13,6 +13,7 @@
 //! * [`workload`] — synthetic SPEC CINT2000 benchmark models and kernels,
 //! * [`uarch`] — branch predictors and the cache hierarchy,
 //! * [`core`] — macro-op detection/formation and all scheduler models,
+//! * [`metrics`] — histograms, interval time series and run reports,
 //! * [`sim`] — the 13-stage out-of-order pipeline simulator,
 //! * [`experiments`] — the per-table/figure reproduction harness.
 //!
@@ -33,6 +34,7 @@ pub use mos_asm as asm;
 pub use mos_core as core;
 pub use mos_experiments as experiments;
 pub use mos_isa as isa;
+pub use mos_metrics as metrics;
 pub use mos_sim as sim;
 pub use mos_uarch as uarch;
 pub use mos_workload as workload;
