@@ -34,7 +34,9 @@ pub mod events;
 pub mod form;
 pub mod pointer;
 pub mod queue;
+pub mod slots;
 mod uop;
 
 pub use config::{CycleDetection, MopConfig, SchedConfig, SchedulerKind, WakeupStyle};
+pub use slots::{SlotCause, SlotCounts, NUM_SLOT_CAUSES};
 pub use uop::{GroupRole, SchedUop, Tag, UopId};

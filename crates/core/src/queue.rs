@@ -33,6 +33,7 @@ use mos_metrics::Hist;
 
 use crate::config::{SchedConfig, SchedulerKind};
 use crate::events::TraceEvent;
+use crate::slots::{SlotCause, SlotCounts};
 use crate::uop::{SchedUop, Tag, UopId};
 
 /// Handle to an occupied issue-queue entry (generation-checked).
@@ -138,6 +139,11 @@ struct TagState {
     actual_at: Option<u64>,
     /// Producer is a load whose hit/miss is not yet known.
     load_unresolved: bool,
+    /// This dataflow edge was poisoned by a cache miss: the producer is a
+    /// missed load or a consumer replayed in its shadow. Sticky for the
+    /// tag's lifetime (tags are never reused), so slot accounting can
+    /// charge the whole transitive wait to the miss.
+    missed: bool,
 }
 
 /// Dense tag-state table. Tags are allocated by rename/formation from a
@@ -307,6 +313,21 @@ pub struct QueueMetrics {
     pub wakeup_select_delay: Hist,
 }
 
+/// Opt-in per-slot cause accounting, behind the same zero-cost guard as
+/// tracing and metrics: when accounting is off (the default) the queue
+/// does no classification work at all.
+#[derive(Debug, Clone, Default)]
+struct SlotAccounting {
+    /// Slots charged by the queue (useful / loop / fusion / stall causes).
+    counts: SlotCounts,
+    /// Idle slots last cycle with no waiting entry to blame. The driver
+    /// (simulator) charges these to frontend, wrong-path or drained.
+    empty: u64,
+    /// Reusable classification scratch: `(age, cause)` per waiting entry,
+    /// sorted oldest-first to mirror select priority.
+    cause_buf: Vec<(UopId, SlotCause)>,
+}
+
 /// The issue queue. See the module docs for the scheduling models.
 ///
 /// ```
@@ -346,6 +367,9 @@ pub struct IssueQueue {
     trace_buf: Vec<TraceEvent>,
     /// Opt-in scheduling histograms; `None` (the default) samples nothing.
     metrics: Option<Box<QueueMetrics>>,
+    /// Opt-in per-slot cause accounting; `None` (the default) classifies
+    /// nothing.
+    accounting: Option<Box<SlotAccounting>>,
 }
 
 impl IssueQueue {
@@ -368,6 +392,7 @@ impl IssueQueue {
             trace: false,
             trace_buf: Vec::new(),
             metrics: None,
+            accounting: None,
             config,
         }
     }
@@ -396,6 +421,30 @@ impl IssueQueue {
     /// The collected histograms, if metrics are enabled.
     pub fn metrics(&self) -> Option<&QueueMetrics> {
         self.metrics.as_deref()
+    }
+
+    /// Turn per-slot cause accounting on or off. Off by default; when off
+    /// the queue does no classification work at all (the same guard
+    /// discipline as [`IssueQueue::set_tracing`]). Enable before the first
+    /// cycle so the conservation law holds for the whole run.
+    pub fn set_slot_accounting(&mut self, on: bool) {
+        self.accounting = on.then(Box::<SlotAccounting>::default);
+    }
+
+    /// Per-cause slot counts charged by the queue, if accounting is on.
+    /// The queue charges everything it can see; idle slots it could not
+    /// blame on a waiting entry are reported via
+    /// [`IssueQueue::unattributed_slots`] for the driver to classify.
+    pub fn slot_counts(&self) -> Option<&SlotCounts> {
+        self.accounting.as_deref().map(|a| &a.counts)
+    }
+
+    /// Idle slots from the most recent cycle that had no waiting entry to
+    /// blame. The driver charges these to frontend back-pressure,
+    /// wrong-path recovery or a drained machine — exactly once per cycle,
+    /// right after [`IssueQueue::cycle_into`].
+    pub fn unattributed_slots(&self) -> u64 {
+        self.accounting.as_deref().map_or(0, |a| a.empty)
     }
 
     /// Move every buffered trace event into `out`, re-stamping each with
@@ -696,6 +745,8 @@ impl IssueQueue {
 
         // Grant phase: oldest first, within issue width and FU pools,
         // minus the slots/FUs blocked by MOP tails sequencing this cycle.
+        let blocked_slots = self.slots_blocked.min(self.config.issue_width);
+        let waste_before = self.stats.spec_wakeup_cancels + self.stats.pileup_replays;
         let mut width = self.config.issue_width.saturating_sub(self.slots_blocked);
         let mut fu_avail = [0usize; 5];
         for (k, avail) in fu_avail.iter_mut().enumerate() {
@@ -843,6 +894,88 @@ impl IssueQueue {
         self.req_buf = requesters;
         self.slots_blocked = slots_next;
         self.fu_blocked = fu_next;
+
+        if self.accounting.is_some() {
+            let wasted = self.stats.spec_wakeup_cancels + self.stats.pileup_replays - waste_before;
+            self.account_cycle(now, blocked_slots, wasted, out.len());
+        }
+    }
+
+    /// Charge this cycle's `issue_width` slots to causes: grants are
+    /// useful, MOP payload-sequencing blocks are fusion overhead, slots
+    /// burned by select-free mis-speculation (stale-grant cancels, pileup
+    /// replays) are scheduling-loop cost, and each remaining idle slot is
+    /// blamed on the oldest still-waiting entries (mirroring select
+    /// priority). Idle slots with nobody waiting are left for the driver
+    /// via [`IssueQueue::unattributed_slots`].
+    fn account_cycle(&mut self, now: u64, blocked: usize, wasted: u64, grants: usize) {
+        let Some(mut acc) = self.accounting.take() else {
+            return;
+        };
+        let width = self.config.issue_width as u64;
+        let busy = blocked as u64 + wasted + grants as u64;
+        debug_assert!(busy <= width, "charged more slots than the machine offers");
+        acc.counts.add(SlotCause::Useful, grants as u64);
+        acc.counts.add(SlotCause::MopFusion, blocked as u64);
+        acc.counts.add(SlotCause::SchedLoop, wasted);
+        let idle = (width - busy) as usize;
+        acc.empty = 0;
+        if idle > 0 {
+            acc.cause_buf.clear();
+            for e in self.entries.iter().flatten() {
+                if e.state != EntryState::Waiting {
+                    continue;
+                }
+                acc.cause_buf.push((e.age, self.stall_cause(e, now)));
+            }
+            acc.cause_buf.sort_unstable_by_key(|&(age, _)| age);
+            let attributed = acc.cause_buf.len().min(idle);
+            for &(_, cause) in acc.cause_buf.iter().take(attributed) {
+                acc.counts.add(cause, 1);
+            }
+            acc.empty = (idle - attributed) as u64;
+        }
+        self.accounting = Some(acc);
+    }
+
+    /// Why a waiting entry did not issue this cycle, as one exclusive
+    /// cause. Priority (DESIGN §10): fusion wait > pileup hold-off >
+    /// miss shadow > ready-but-denied > loop penalty > true dependence.
+    fn stall_cause(&self, e: &Entry, now: u64) -> SlotCause {
+        if e.pending_tail {
+            // A fused head waiting for its tail to arrive.
+            return SlotCause::MopFusion;
+        }
+        if e.hold_until > now {
+            // Scoreboard pileup hold-off: select-free loop speculation.
+            return SlotCause::SchedLoop;
+        }
+        let mut all_visible = true;
+        let mut loop_only = true;
+        for &t in &e.srcs {
+            if self.tags.ready(t, now) {
+                continue;
+            }
+            all_visible = false;
+            match self.tags.get(t) {
+                Some(s) if s.missed => return SlotCause::LoadMiss,
+                Some(s) if s.actual_at.is_none_or(|r| r > now) => loop_only = false,
+                // Remaining: actually ready but invisible (loop bubble).
+                // Absent tags always read as ready; unreachable here.
+                Some(_) | None => {}
+            }
+        }
+        if all_visible {
+            // Every source visible: the entry requested selection and lost
+            // (width or FU contention, or a select-free cancel).
+            SlotCause::Bandwidth
+        } else if loop_only {
+            // Values all computed (`actual_at <= now`) yet not visible to
+            // wakeup — purely the pipelined scheduling-loop bubble.
+            SlotCause::SchedLoop
+        } else {
+            SlotCause::NotReady
+        }
     }
 
     /// A woken requester denied selection this cycle: in squash-dep mode
@@ -906,6 +1039,7 @@ impl IssueQueue {
         let ready = data_ready_at + u64::from(self.config.replay_penalty);
         s.ready_at = Some(ready);
         s.actual_at = Some(ready);
+        s.missed = true;
         if self.trace {
             self.trace_buf.push(TraceEvent::Wakeup {
                 cycle: self.now,
@@ -945,6 +1079,7 @@ impl IssueQueue {
                     if let Some(s) = self.tags.get_mut(d) {
                         s.ready_at = None;
                         s.actual_at = None;
+                        s.missed = true;
                     }
                     work.push(d);
                 }
@@ -1477,6 +1612,7 @@ mod tests {
                     ready_at: Some(n),
                     actual_at: Some(n),
                     load_unresolved: false,
+                    missed: false,
                 },
             );
         }
@@ -1497,6 +1633,7 @@ mod tests {
                     ready_at: Some(n),
                     actual_at: Some(n),
                     load_unresolved: n == 3,
+                    missed: false,
                 },
             );
         }
@@ -1515,6 +1652,7 @@ mod tests {
                 ready_at: Some(0),
                 actual_at: Some(0),
                 load_unresolved: false,
+                missed: false,
             },
         );
         t.prune(100, 0);

@@ -8,7 +8,10 @@
 //!
 //! `--jobs N` fans the figure's (benchmark, config) simulations across N
 //! worker threads; `--jobs 1` is the serial path. Output is byte-identical
-//! for any N. `perf` times the full sweep and writes `BENCH_sim.json`.
+//! for any N. `perf` times the full sweep, writes `BENCH_sim.json`
+//! (per-figure wall time, IPC and scheduler kinds plus an observability
+//! overhead probe with its CPI stack) and appends one line to
+//! `results/bench_history.jsonl` for `scripts/perf_gate.sh`.
 
 use std::env;
 use std::process::ExitCode;
@@ -100,6 +103,13 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
         wall_seconds: f64,
         sim_cycles: u64,
         sim_commits: u64,
+        sched_kinds: Vec<&'static str>,
+    }
+
+    impl Entry {
+        fn ipc(&self) -> f64 {
+            self.sim_commits as f64 / (self.sim_cycles.max(1)) as f64
+        }
     }
 
     type Sweep = (&'static str, Box<dyn Fn()>);
@@ -116,6 +126,7 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     let mut entries = Vec::new();
     runner::take_simulated_cycles(); // reset the counters
     runner::take_simulated_commits();
+    runner::take_sched_kinds();
     let total_start = Instant::now();
     for (name, sweep) in &sweeps {
         let start = Instant::now();
@@ -123,6 +134,7 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
         let wall_seconds = start.elapsed().as_secs_f64();
         let sim_cycles = runner::take_simulated_cycles();
         let sim_commits = runner::take_simulated_commits();
+        let sched_kinds = runner::take_sched_kinds();
         eprintln!(
             "perf: {name:10} {wall_seconds:8.3}s  {sim_cycles:>12} cycles  {sim_commits:>12} committed  {:>12.0} cycles/s",
             sim_cycles as f64 / wall_seconds.max(1e-9)
@@ -132,6 +144,7 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
             wall_seconds,
             sim_cycles,
             sim_commits,
+            sched_kinds,
         });
     }
     let total_wall = total_start.elapsed().as_secs_f64();
@@ -155,6 +168,9 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     let (plain_s, plain) = time_probe(false, false);
     let (metrics_s, metrics) = time_probe(true, false);
     let (tracing_s, tracing) = time_probe(false, true);
+    let accounted_start = Instant::now();
+    let accounted = probe.run_accounted();
+    let accounted_s = accounted_start.elapsed().as_secs_f64();
     assert_eq!(
         plain.cycles, metrics.cycles,
         "metrics collection must not change simulated timing"
@@ -163,8 +179,19 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
         plain.cycles, tracing.cycles,
         "event tracing must not change simulated timing"
     );
+    assert_eq!(
+        plain.cycles, accounted.cycles,
+        "slot accounting must not change simulated timing"
+    );
+    let probe_width = probe.cfg.sched.issue_width as u64;
+    let probe_stack =
+        mos_sim::CpiStack::from_stats(probe.bench, "mop-wor", probe_width, &accounted);
+    if let Err(e) = probe_stack.check_conservation() {
+        eprintln!("perf: probe CPI stack violates slot conservation: {e}");
+        return ExitCode::FAILURE;
+    }
     eprintln!(
-        "perf: observability probe (gzip mop-wor, {} cycles): plain {plain_s:.3}s, metrics {metrics_s:.3}s, tracing {tracing_s:.3}s",
+        "perf: observability probe (gzip mop-wor, {} cycles): plain {plain_s:.3}s, metrics {metrics_s:.3}s, tracing {tracing_s:.3}s, cpistack {accounted_s:.3}s",
         plain.cycles
     );
 
@@ -174,12 +201,19 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     json.push_str(&format!("  \"jobs\": {jobs},\n"));
     json.push_str("  \"figures\": [\n");
     for (i, e) in entries.iter().enumerate() {
+        let kinds = e
+            .sched_kinds
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"sim_cycles\": {}, \"sim_commits\": {}, \"cycles_per_sec\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"sim_cycles\": {}, \"sim_commits\": {}, \"ipc\": {:.4}, \"cycles_per_sec\": {:.1}, \"sched_kinds\": [{kinds}]}}{}\n",
             e.name,
             e.wall_seconds,
             e.sim_cycles,
             e.sim_commits,
+            e.ipc(),
             e.sim_cycles as f64 / e.wall_seconds.max(1e-9),
             if i + 1 < entries.len() { "," } else { "" }
         ));
@@ -188,7 +222,11 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     json.push_str("  \"observability\": {\n");
     json.push_str(&format!("    \"probe_sim_cycles\": {},\n", plain.cycles));
     json.push_str(&format!(
-        "    \"plain_wall_seconds\": {plain_s:.6},\n    \"metrics_wall_seconds\": {metrics_s:.6},\n    \"tracing_wall_seconds\": {tracing_s:.6}\n"
+        "    \"plain_wall_seconds\": {plain_s:.6},\n    \"metrics_wall_seconds\": {metrics_s:.6},\n    \"tracing_wall_seconds\": {tracing_s:.6},\n    \"cpistack_wall_seconds\": {accounted_s:.6},\n"
+    ));
+    json.push_str(&format!(
+        "    \"probe_cpi_stack\": {}\n",
+        probe_stack.to_json()
     ));
     json.push_str("  },\n");
     json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
@@ -200,14 +238,82 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     ));
     json.push_str("}\n");
 
-    match std::fs::write(out_path, &json) {
-        Ok(()) => {
-            eprintln!("perf: wrote {out_path} ({total_wall:.3}s total, {jobs} jobs)");
-            ExitCode::SUCCESS
-        }
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("perf: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("perf: wrote {out_path} ({total_wall:.3}s total, {jobs} jobs)");
+
+    let total_cps = total_cycles as f64 / total_wall.max(1e-9);
+    match append_history(insts, jobs, total_cycles, total_wall, total_cps, &probe_stack) {
+        Ok(path) => eprintln!("perf: appended history entry to {path}"),
         Err(e) => {
-            eprintln!("perf: cannot write {out_path}: {e}");
-            ExitCode::FAILURE
+            // History is an append-only convenience log; a read-only
+            // checkout must not fail the sweep.
+            eprintln!("perf: could not append bench history: {e}");
         }
     }
+    ExitCode::SUCCESS
+}
+
+/// Append one single-line JSON entry to `results/bench_history.jsonl`:
+/// the perf sweep's throughput plus the top stall causes of the probe's
+/// CPI stack, keyed by git revision and wall-clock time. The perf gate
+/// (`scripts/perf_gate.sh`) compares the last two entries.
+fn append_history(
+    insts: u64,
+    jobs: usize,
+    total_cycles: u64,
+    total_wall: f64,
+    total_cps: f64,
+    probe: &mos_sim::CpiStack,
+) -> Result<String, String> {
+    use std::io::Write as _;
+
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned());
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+
+    // Top three stall causes (everything but useful issue) by share.
+    let mut causes: Vec<_> = mos_core::SlotCause::ALL
+        .iter()
+        .filter(|&&c| c != mos_core::SlotCause::Useful)
+        .map(|&c| (c.name(), probe.share(c)))
+        .collect();
+    causes.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let top = causes
+        .iter()
+        .take(3)
+        .map(|(name, share)| format!("{{\"cause\": \"{name}\", \"share\": {share:.4}}}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    let line = format!(
+        "{{\"git_rev\": \"{git_rev}\", \"unix_time\": {unix_time}, \"insts\": {insts}, \
+         \"jobs\": {jobs}, \"total_sim_cycles\": {total_cycles}, \
+         \"total_wall_seconds\": {total_wall:.6}, \"total_cycles_per_sec\": {total_cps:.1}, \
+         \"probe_bench\": \"{}\", \"probe_ipc\": {:.4}, \"top_causes\": [{top}]}}\n",
+        probe.bench,
+        probe.ipc(),
+    );
+
+    let dir = "results";
+    let path = format!("{dir}/bench_history.jsonl");
+    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("open {path}: {e}"))?;
+    file.write_all(line.as_bytes())
+        .map_err(|e| format!("write {path}: {e}"))?;
+    Ok(path)
 }

@@ -15,9 +15,10 @@
 //! walker, so sharing cannot leak state between simulations.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+use mos_core::{SchedulerKind, WakeupStyle};
 use mos_sim::{EventSink, MachineConfig, Simulator, SimStats};
 use mos_workload::spec2000;
 use mos_workload::{SyntheticProgram, WorkloadSpec};
@@ -84,7 +85,23 @@ impl Job {
         let stats = Simulator::new(self.cfg.clone(), trace).run(self.insts);
         SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
         SIM_COMMITS.fetch_add(stats.committed, Ordering::Relaxed);
+        SCHED_KINDS.fetch_or(1 << sched_label_index(&self.cfg), Ordering::Relaxed);
         stats
+    }
+
+    /// [`Job::run`] with issue-slot accounting enabled, for CPI-stack
+    /// probes in `experiments perf`. Does not touch the global
+    /// cycle/commit counters; the returned stats carry `slots` satisfying
+    /// the conservation law and otherwise match [`Job::run`] exactly
+    /// (accounting is observation-only).
+    pub fn run_accounted(&self) -> SimStats {
+        let spec = spec2000::by_name(self.bench)
+            .unwrap_or_else(|| panic!("unknown benchmark `{}`", self.bench));
+        let program = cached_program(&spec, self.seed);
+        let trace = program.walk(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let mut sim = Simulator::new(self.cfg.clone(), trace);
+        sim.enable_slot_accounting();
+        sim.run(self.insts)
     }
 
     /// [`Job::run`] with observability layers switched on: interval
@@ -142,6 +159,49 @@ pub fn take_simulated_cycles() -> u64 {
 /// Read and reset the global committed-instruction counter.
 pub fn take_simulated_commits() -> u64 {
     SIM_COMMITS.swap(0, Ordering::Relaxed)
+}
+
+/// CLI spellings of every scheduler configuration, in bitmask order for
+/// [`take_sched_kinds`] (the same vocabulary `mossim --sched` accepts).
+pub const SCHED_LABELS: [&str; 7] = [
+    "base",
+    "2cycle",
+    "mop-2src",
+    "mop-wor",
+    "sf-squash",
+    "sf-scoreboard",
+    "spec-wakeup",
+];
+
+/// Bitmask over [`SCHED_LABELS`] of scheduler kinds seen by [`Job::run`]
+/// since the last [`take_sched_kinds`] call.
+static SCHED_KINDS: AtomicU32 = AtomicU32::new(0);
+
+/// [`SCHED_LABELS`] index for a machine configuration's scheduler.
+fn sched_label_index(cfg: &MachineConfig) -> u32 {
+    match (cfg.sched.kind, cfg.sched.wakeup) {
+        (SchedulerKind::Base, _) => 0,
+        (SchedulerKind::TwoCycle, _) => 1,
+        (SchedulerKind::MacroOp, WakeupStyle::CamTwoSource) => 2,
+        (SchedulerKind::MacroOp, WakeupStyle::WiredOr) => 3,
+        (SchedulerKind::SelectFreeSquashDep, _) => 4,
+        (SchedulerKind::SelectFreeScoreboard, _) => 5,
+        (SchedulerKind::SpeculativeWakeup, _) => 6,
+    }
+}
+
+/// Read and reset the scheduler-kind bitmask: the CLI labels of every
+/// scheduler exercised by jobs since the last call, in [`SCHED_LABELS`]
+/// order. Feeds the per-figure `sched_kinds` field of the
+/// `experiments perf` output.
+pub fn take_sched_kinds() -> Vec<&'static str> {
+    let mask = SCHED_KINDS.swap(0, Ordering::Relaxed);
+    SCHED_LABELS
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| mask & (1 << i) != 0)
+        .map(|(_, &l)| l)
+        .collect()
 }
 
 /// Process-wide cache of generated synthetic programs, keyed by
@@ -219,6 +279,7 @@ where
 pub fn run_config(spec: &WorkloadSpec, cfg: MachineConfig, insts: u64) -> SimStats {
     let program = cached_program(spec, SEED);
     let trace = program.walk(SEED ^ 0x9e37_79b9_7f4a_7c15);
+    SCHED_KINDS.fetch_or(1 << sched_label_index(&cfg), Ordering::Relaxed);
     let stats = Simulator::new(cfg, trace).run(insts);
     SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
     SIM_COMMITS.fetch_add(stats.committed, Ordering::Relaxed);
@@ -321,6 +382,40 @@ mod tests {
         assert_eq!(traced.cycles, plain.cycles);
         assert!(traced.events.total() > 0, "tracing must be enabled");
         assert_eq!(ring.total_seen(), traced.events.total());
+    }
+
+    /// An accounted run must match the plain run cycle-for-cycle (slot
+    /// accounting is observation-only) while its slot counts satisfy the
+    /// conservation law.
+    #[test]
+    fn accounted_run_matches_plain_run() {
+        let job = Job::new("gzip", MachineConfig::two_cycle_32(), 2_000);
+        let plain = job.run();
+        let accounted = job.run_accounted();
+        assert_eq!(accounted.cycles, plain.cycles);
+        assert_eq!(accounted.committed, plain.committed);
+        let width = job.cfg.sched.issue_width as u64;
+        accounted
+            .slots
+            .check_conservation(accounted.cycles, width)
+            .expect("accounted run must conserve issue slots");
+    }
+
+    /// The mask is process-global and other tests run jobs concurrently,
+    /// so assert only that our own kinds are present (never that the mask
+    /// is otherwise empty).
+    #[test]
+    fn sched_kind_tracking_reports_cli_labels() {
+        Job::new("gzip", MachineConfig::base_32(), 500).run();
+        Job::new(
+            "gzip",
+            MachineConfig::macro_op(mos_core::WakeupStyle::WiredOr, Some(32), 1),
+            500,
+        )
+        .run();
+        let kinds = take_sched_kinds();
+        assert!(kinds.contains(&"base"));
+        assert!(kinds.contains(&"mop-wor"));
     }
 
     #[test]

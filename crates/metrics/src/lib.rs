@@ -116,16 +116,47 @@ impl Hist {
         &self.buckets
     }
 
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), assuming samples are
+    /// uniformly spread within each log₂ bucket (linear interpolation
+    /// between the bucket bounds). Exact for single-value buckets, an
+    /// estimate otherwise; clamped to the observed maximum. 0.0 when
+    /// empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c) as f64 >= target {
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let (lo, hi) = bucket_bounds(i);
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return v.min(self.max as f64);
+            }
+            cum += c;
+        }
+        self.max as f64
+    }
+
     /// JSON object: `{"count":..,"sum":..,"max":..,"mean":..,
+    /// "p50":..,"p95":..,"p99":..,
     /// "buckets":[{"lo":..,"hi":..,"count":..},..]}` with empty buckets
     /// omitted.
     pub fn to_json(&self) -> String {
         let mut s = format!(
-            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.6},\"buckets\":[",
+            "{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":{:.6},\
+             \"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3},\"buckets\":[",
             self.count,
             self.sum,
             self.max,
-            self.mean()
+            self.mean(),
+            self.percentile(0.50),
+            self.percentile(0.95),
+            self.percentile(0.99),
         );
         let mut first = true;
         for (i, &c) in self.buckets.iter().enumerate() {
@@ -328,9 +359,12 @@ impl Registry {
             if let Metric::Hist(h) = m {
                 let _ = writeln!(
                     s,
-                    "\n**{name}** (n={}, mean={:.2}, max={})\n\n```text\n{}```",
+                    "\n**{name}** (n={}, mean={:.2}, p50={:.1}, p95={:.1}, p99={:.1}, max={})\n\n```text\n{}```",
                     h.count(),
                     h.mean(),
+                    h.percentile(0.50),
+                    h.percentile(0.95),
+                    h.percentile(0.99),
                     h.max(),
                     h.render()
                 );
@@ -457,6 +491,51 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max(), 0);
         assert!(h.render().contains("(empty)"));
-        assert_eq!(h.to_json(), "{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0.000000,\"buckets\":[]}");
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":0,\"sum\":0,\"max\":0,\"mean\":0.000000,\
+             \"p50\":0.000,\"p95\":0.000,\"p99\":0.000,\"buckets\":[]}"
+        );
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        // 100 samples of the value 7 all land in the [4, 7] bucket; the
+        // estimator assumes uniform spread inside it, so p50 is the
+        // bucket midpoint and higher quantiles climb toward (and are
+        // clamped by) the observed max.
+        let mut h = Hist::new();
+        for _ in 0..100 {
+            h.record(7);
+        }
+        assert_eq!(h.percentile(0.50), 5.5);
+        assert!((h.percentile(0.99) - 6.97).abs() < 1e-9);
+        assert_eq!(h.percentile(1.0), 7.0, "p100 clamps to max");
+
+        // Single-value buckets are exact: bucket 1 holds only [1, 1].
+        let mut h = Hist::new();
+        for _ in 0..10 {
+            h.record(1);
+        }
+        assert_eq!(h.percentile(0.50), 1.0);
+        assert_eq!(h.percentile(0.99), 1.0);
+
+        // 90 samples in [0,0] and 10 in [8,15]: p50 sits in the zero
+        // bucket, p95/p99 interpolate inside [8, 15], ordered and
+        // bounded by the bucket.
+        let mut h = Hist::new();
+        for _ in 0..90 {
+            h.record(0);
+        }
+        for v in 0..10 {
+            h.record(8 + v % 8);
+        }
+        assert_eq!(h.percentile(0.50), 0.0);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!((8.0..=15.0).contains(&p95), "p95 {p95} inside the bucket");
+        assert!(p95 <= p99, "quantiles are monotone");
+        assert!(p99 <= h.max() as f64, "clamped to the observed max");
     }
 }

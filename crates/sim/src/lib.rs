@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod cpistack;
 pub mod events;
 pub mod metrics;
 pub mod oracle;
@@ -49,6 +50,7 @@ mod stats;
 pub mod timeline;
 
 pub use config::MachineConfig;
+pub use cpistack::CpiStack;
 pub use events::{EventCounts, EventSink, RingSink, SharedRing, TraceEvent};
 pub use metrics::SimMetrics;
 pub use oracle::{InvariantOracle, OracleMode, Violation};

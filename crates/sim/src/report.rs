@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use mos_isa::TraceSource;
 use mos_metrics::{Hist, Registry, Series};
 
+use crate::cpistack::CpiStack;
 use crate::sim::Simulator;
 use crate::stats::SimStats;
 
@@ -65,6 +66,8 @@ pub struct RunReport {
     pub occupancy: Option<Hist>,
     /// Wakeup→select delay distribution over issued entries.
     pub wakeup_select_delay: Option<Hist>,
+    /// Top-down CPI stack, when slot accounting was enabled.
+    pub cpi: Option<CpiStack>,
     /// Host-side wall-time profile.
     pub profile: HostProfile,
 }
@@ -88,12 +91,21 @@ impl RunReport {
             ),
             None => (None, None),
         };
+        let cpi = sim.slot_accounting().then(|| {
+            CpiStack::from_stats(
+                &meta.bench,
+                &meta.sched,
+                sim.config().sched.issue_width as u64,
+                &stats,
+            )
+        });
         RunReport {
             meta,
             stats,
             series,
             occupancy,
             wakeup_select_delay,
+            cpi,
             profile,
         }
     }
@@ -145,6 +157,10 @@ impl RunReport {
             Some(s) => s.to_json(),
             None => "null".into(),
         };
+        let cpi = match &self.cpi {
+            Some(c) => c.to_json(),
+            None => "null".into(),
+        };
         let profile = format!(
             "{{\"build_seconds\":{:.6},\"sim_seconds\":{:.6},\"render_seconds\":{:.6},\"cycles_per_second\":{:.1}}}",
             self.profile.build_seconds,
@@ -153,7 +169,7 @@ impl RunReport {
             self.profile.cycles_per_second(self.stats.cycles)
         );
         format!(
-            "{{\"meta\":{meta},\"totals\":{},\"series\":{series},\"profile\":{profile}}}",
+            "{{\"meta\":{meta},\"totals\":{},\"cpi\":{cpi},\"series\":{series},\"profile\":{profile}}}",
             self.registry().to_json()
         )
     }
@@ -170,6 +186,11 @@ impl RunReport {
         );
         out.push_str("## Totals\n\n");
         out.push_str(&self.registry().to_markdown());
+
+        if let Some(cpi) = &self.cpi {
+            out.push_str("\n## CPI stack\n\n");
+            out.push_str(&cpi.to_markdown());
+        }
 
         if let Some(series) = &self.series {
             let _ = writeln!(

@@ -8,7 +8,7 @@ use mos_core::detect::{DetectInst, MopDetector};
 use mos_core::form::{FormedItem, Former, RenamedInst, TableCheckpoint};
 use mos_core::pointer::{MopPointer, MopPointerStore};
 use mos_core::queue::{EntryId, IssueQueue, Issued};
-use mos_core::{GroupRole, Tag, UopId};
+use mos_core::{GroupRole, SlotCause, SlotCounts, Tag, UopId};
 use mos_isa::{DynInst, InstClass, Program, StaticInst, TraceSource};
 use mos_uarch::branch::{Btb, CombinedPredictor, ReturnAddressStack};
 use mos_uarch::cache::Cache;
@@ -101,6 +101,9 @@ pub struct Simulator<T: TraceSource> {
     fetch_pc: u32,
     wrong_path: bool,
     fetch_stall_until: u64,
+    /// End of the post-squash redirect bubble (for slot attribution:
+    /// distinguishes recovery stalls from ordinary I-miss fetch stalls).
+    redirect_until: u64,
     front: VecDeque<FrontGroup>,
     next_id: u64,
 
@@ -130,6 +133,11 @@ pub struct Simulator<T: TraceSource> {
     /// Interval metric snapshots; `None` (the default) costs one
     /// `is_some()` check per cycle.
     metrics: Option<Box<SimMetrics>>,
+    /// Slot causes the queue cannot see (frontend / wrong-path /
+    /// drained); `None` (the default) disables all slot accounting.
+    slot_counts: Option<Box<SlotCounts>>,
+    /// Insert was denied by the IQ/ROB resource check this cycle.
+    insert_blocked: bool,
 
     // Event tracing. `tracing` is the single gate: when false (release
     // default) no event value is ever constructed anywhere in the
@@ -163,6 +171,7 @@ impl<T: TraceSource> Simulator<T> {
             fetch_pc,
             wrong_path: false,
             fetch_stall_until: 0,
+            redirect_until: 0,
             front: VecDeque::new(),
             next_id: 0,
             pointers: MopPointerStore::new(),
@@ -182,6 +191,8 @@ impl<T: TraceSource> Simulator<T> {
             stats: SimStats::default(),
             timeline: None,
             metrics: None,
+            slot_counts: None,
+            insert_blocked: false,
             tracing: false,
             sink: None,
             orc: None,
@@ -202,6 +213,11 @@ impl<T: TraceSource> Simulator<T> {
         // nothing.
         #[cfg(debug_assertions)]
         sim.attach_oracle(OracleMode::Panic);
+        // Debug builds also account every issue slot, so the whole test
+        // suite doubles as a conservation-law suite (the per-cycle
+        // `debug_assert` in `step`).
+        #[cfg(debug_assertions)]
+        sim.enable_slot_accounting();
         sim
     }
 
@@ -308,6 +324,12 @@ impl<T: TraceSource> Simulator<T> {
         s.il1 = self.il1.stats();
         s.l2 = self.l2.stats();
         s.events.dropped = self.sink.as_ref().map_or(0, |k| k.dropped());
+        if let Some(c) = self.slot_counts.as_deref() {
+            s.slots = *c;
+            if let Some(q) = self.queue.slot_counts() {
+                s.slots.merge(q);
+            }
+        }
         s
     }
 
@@ -364,6 +386,26 @@ impl<T: TraceSource> Simulator<T> {
         self.queue.metrics()
     }
 
+    /// Turn on top-down issue-slot accounting (the `cpistack` taxonomy):
+    /// every cycle × issue-slot is charged to exactly one
+    /// [`SlotCause`], and the per-cause totals land in
+    /// [`SimStats::slots`]. Observation only — simulated timing is
+    /// unchanged. Must be enabled before the first cycle so the
+    /// conservation law (`total == cycles × issue_width`) holds;
+    /// idempotent, and debug builds enable it automatically.
+    pub fn enable_slot_accounting(&mut self) {
+        assert_eq!(self.now, 0, "enable slot accounting before the first cycle");
+        if self.slot_counts.is_none() {
+            self.slot_counts = Some(Box::default());
+            self.queue.set_slot_accounting(true);
+        }
+    }
+
+    /// `true` when slot accounting is enabled.
+    pub fn slot_accounting(&self) -> bool {
+        self.slot_counts.is_some()
+    }
+
     /// Gather the cumulative counter values the interval series rows are
     /// deltas of.
     fn cumulative(&self) -> Cum {
@@ -396,6 +438,7 @@ impl<T: TraceSource> Simulator<T> {
     fn step(&mut self) {
         self.now += 1;
         let now = self.now;
+        self.insert_blocked = false;
 
         // 1. Execution/resolution events.
         if let Some(evs) = self.events.remove(&now) {
@@ -432,6 +475,23 @@ impl<T: TraceSource> Simulator<T> {
         }
         let mut issued = std::mem::take(&mut self.issue_buf);
         self.queue.cycle_into(now, &mut issued);
+        if let Some(c) = self.slot_counts.as_deref_mut() {
+            // Idle slots the queue could not blame on a waiting entry:
+            // the machine-level context decides — wrong-path fetch or the
+            // post-squash redirect bubble, frontend (IQ/ROB-full)
+            // back-pressure, or a genuinely drained window.
+            let empty = self.queue.unattributed_slots();
+            if empty > 0 {
+                let cause = if self.wrong_path || now < self.redirect_until {
+                    SlotCause::WrongPath
+                } else if self.insert_blocked {
+                    SlotCause::Frontend
+                } else {
+                    SlotCause::Drained
+                };
+                c.add(cause, empty);
+            }
+        }
         self.drain_queue_trace();
         for iss in &issued {
             self.handle_issue(iss);
@@ -454,6 +514,21 @@ impl<T: TraceSource> Simulator<T> {
             let cum = self.cumulative();
             if let Some(m) = self.metrics.as_deref_mut() {
                 m.sample(now, cum);
+            }
+        }
+
+        // The conservation law, checked every cycle like the scheduling
+        // oracle: charged slots must equal the slots the machine offered.
+        #[cfg(debug_assertions)]
+        if let Some(c) = self.slot_counts.as_deref() {
+            let mut total = *c;
+            if let Some(q) = self.queue.slot_counts() {
+                total.merge(q);
+            }
+            if let Err(e) =
+                total.check_conservation(now, self.cfg.sched.issue_width as u64)
+            {
+                panic!("{e} (at cycle {now})");
             }
         }
     }
@@ -679,6 +754,7 @@ impl<T: TraceSource> Simulator<T> {
         // Conservative resource check: every instruction may need an entry
         // (fused tails actually will not).
         if self.queue.free_entries() < n || self.rob.len() + n > self.cfg.rob_entries {
+            self.insert_blocked = true;
             return;
         }
         let group = self.front.pop_front().expect("checked above");
@@ -1123,6 +1199,7 @@ impl<T: TraceSource> Simulator<T> {
         self.wrong_path = false;
         self.fetch_pc = actual_next;
         self.fetch_stall_until = now + 2; // redirect bubble
+        self.redirect_until = now + 2;
     }
 
     // ------------------------------------------------------------------

@@ -5,7 +5,7 @@ use mos_core::detect::DetectStats;
 use mos_core::events::EventCounts;
 use mos_core::form::FormStats;
 use mos_core::queue::QueueStats;
-use mos_core::GroupRole;
+use mos_core::{GroupRole, SlotCounts};
 
 /// End-of-run statistics snapshot.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -59,6 +59,13 @@ pub struct SimStats {
     /// Per-kind trace-event counts. All zero unless event tracing was
     /// enabled for the run.
     pub events: EventCounts,
+    /// Top-down issue-slot cause counts (the `cpistack` taxonomy). All
+    /// zero unless [`Simulator::enable_slot_accounting`] was called
+    /// (debug builds enable it automatically); when enabled, sums exactly
+    /// to `cycles × issue_width`.
+    ///
+    /// [`Simulator::enable_slot_accounting`]: crate::sim::Simulator::enable_slot_accounting
+    pub slots: SlotCounts,
 }
 
 impl SimStats {

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Perf-history regression gate.
+#
+# Compares the last two entries of results/bench_history.jsonl (appended
+# by `experiments perf`) on total simulated cycles per wall-clock second.
+# Fails when the newest entry is more than THRESHOLD_PCT slower than the
+# previous one; `--warn-only` downgrades the failure to a warning (used
+# by scripts/verify.sh, where machine load makes wall time noisy).
+#
+# Usage: scripts/perf_gate.sh [--warn-only] [--threshold PCT] [--history PATH]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WARN_ONLY=0
+THRESHOLD_PCT=20
+HISTORY=results/bench_history.jsonl
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --warn-only) WARN_ONLY=1; shift ;;
+    --threshold) THRESHOLD_PCT="$2"; shift 2 ;;
+    --history) HISTORY="$2"; shift 2 ;;
+    *) echo "usage: $0 [--warn-only] [--threshold PCT] [--history PATH]" >&2; exit 2 ;;
+  esac
+done
+
+if [ ! -f "$HISTORY" ]; then
+  echo "perf_gate: no history at $HISTORY (run \`experiments perf\` first) — nothing to gate"
+  exit 0
+fi
+
+lines=$(wc -l < "$HISTORY")
+if [ "$lines" -lt 2 ]; then
+  echo "perf_gate: only $lines history entr$( [ "$lines" = 1 ] && echo y || echo ies ) — need 2 to compare"
+  exit 0
+fi
+
+# Extract "total_cycles_per_sec": N from a one-line JSON history entry.
+cps_of() {
+  printf '%s\n' "$1" | sed -n 's/.*"total_cycles_per_sec": \([0-9.]*\).*/\1/p'
+}
+rev_of() {
+  printf '%s\n' "$1" | sed -n 's/.*"git_rev": "\([^"]*\)".*/\1/p'
+}
+
+prev_line=$(tail -n 2 "$HISTORY" | head -n 1)
+last_line=$(tail -n 1 "$HISTORY")
+prev_cps=$(cps_of "$prev_line")
+last_cps=$(cps_of "$last_line")
+
+if [ -z "$prev_cps" ] || [ -z "$last_cps" ]; then
+  echo "perf_gate: malformed history entries (no total_cycles_per_sec) — skipping"
+  exit 0
+fi
+
+echo "perf_gate: $(rev_of "$prev_line") ${prev_cps} cycles/s -> $(rev_of "$last_line") ${last_cps} cycles/s (threshold -${THRESHOLD_PCT}%)"
+
+regressed=$(awk -v prev="$prev_cps" -v last="$last_cps" -v pct="$THRESHOLD_PCT" \
+  'BEGIN { print (prev > 0 && last < prev * (1 - pct / 100)) ? 1 : 0 }')
+
+if [ "$regressed" = 1 ]; then
+  drop=$(awk -v prev="$prev_cps" -v last="$last_cps" \
+    'BEGIN { printf "%.1f", 100 * (1 - last / prev) }')
+  if [ "$WARN_ONLY" = 1 ]; then
+    echo "perf_gate: WARNING — simulator throughput dropped ${drop}% (warn-only mode)"
+    exit 0
+  fi
+  echo "perf_gate: FAIL — simulator throughput dropped ${drop}% (limit ${THRESHOLD_PCT}%)" >&2
+  exit 1
+fi
+
+echo "perf_gate: ok"

@@ -6,6 +6,9 @@
 #   3. clippy, warnings denied
 #   4. `mossim trace --check` smoke per scheduler model
 #   5. `mossim report --json` + `mossim pipeview` smoke per scheduler model
+#   6. `mossim cpistack` smoke per scheduler model (conservation + JSON)
+#      plus the base/2cycle/mop differential, and the perf-history gate
+#      in warn-only mode
 # Optional extras with --full: jobs-determinism check + perf snapshot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -40,6 +43,29 @@ for sched in base 2cycle mop-wor; do
     head -1 "/tmp/verify_pipeview_${sched}.kanata" | grep -q "Kanata"
     echo "  $sched: report + pipeview ok"
 done
+
+echo "== cpistack smoke (every scheduler model) =="
+for sched in base 2cycle mop-2src mop-wor sf-squash sf-scoreboard spec-wakeup; do
+    ./target/release/mossim cpistack --bench gzip --sched "$sched" \
+        --insts 10000 --json "/tmp/verify_cpistack_${sched}.json" \
+        > "/tmp/verify_cpistack_${sched}.md"
+    grep -q "conservation: ok" "/tmp/verify_cpistack_${sched}.md"
+    grep -q '"conservation_ok":true' "/tmp/verify_cpistack_${sched}.json"
+    grep -q '"cause":"sched_loop"' "/tmp/verify_cpistack_${sched}.json"
+    echo "  $sched: slots conserve"
+done
+
+echo "== cpistack differential (base vs 2cycle vs mop) =="
+./target/release/mossim cpistack --compare base,twocycle,mop --bench gzip \
+    --insts 10000 --json /tmp/verify_cpistack_diff.json \
+    > /tmp/verify_cpistack_diff.md
+grep -q "| sched_loop |" /tmp/verify_cpistack_diff.md
+grep -q "conservation: ok for all 3 stacks" /tmp/verify_cpistack_diff.md
+grep -q '"deltas":\[{"sched":"2cycle","vs":"base"' /tmp/verify_cpistack_diff.json
+echo "  differential stacks ok"
+
+echo "== perf-history gate (warn-only) =="
+./scripts/perf_gate.sh --warn-only
 
 if [[ "${1:-}" == "--full" ]]; then
     bin=./target/release/experiments

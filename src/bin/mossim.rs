@@ -2,7 +2,7 @@
 //! the full statistics report.
 //!
 //! ```text
-//! mossim [trace|report|pipeview] [options]
+//! mossim [trace|report|pipeview|cpistack] [options]
 //!   --bench NAME        benchmark model (default gzip) or kernel with --kernel
 //!   --kernel NAME       run an assembly kernel instead of a benchmark model
 //!   --sched KIND        base | 2cycle | mop-2src | mop-wor | sf-squash |
@@ -31,6 +31,12 @@
 //!   --uops N            record the first N uops (default 256)
 //!   --out FILE          write Kanata log to FILE instead of stdout
 //!                       (open it in Konata or any Kanata viewer)
+//!
+//! cpistack mode (top-down cycle accounting):
+//!   --compare A,B,..    run the same program under several schedulers
+//!                       and print per-cause share deltas vs the first
+//!                       (aliases: twocycle = 2cycle, mop = mop-wor)
+//!   --json FILE         also write the stack(s) as one JSON document
 //! ```
 
 use std::process::ExitCode;
@@ -38,6 +44,7 @@ use std::time::Instant;
 
 use mopsched::core::WakeupStyle;
 use mopsched::isa::{Program, TraceSource};
+use mopsched::sim::cpistack::{self, CpiStack};
 use mopsched::sim::metrics::DEFAULT_INTERVAL;
 use mopsched::sim::report::{HostProfile, RunMeta, RunReport};
 use mopsched::sim::{MachineConfig, OracleMode, SharedRing, Simulator};
@@ -58,6 +65,10 @@ fn parse() -> Result<Args, String> {
         Some("pipeview") => {
             it.next();
             a.pipeview = true;
+        }
+        Some("cpistack") => {
+            it.next();
+            a.cpistack = true;
         }
         _ => {}
     }
@@ -104,7 +115,8 @@ fn parse() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--interval: {e}"))?
             }
-            "--json" if a.report => a.json = Some(val("--json")?),
+            "--json" if a.report || a.cpistack => a.json = Some(val("--json")?),
+            "--compare" if a.cpistack => a.compare = Some(val("--compare")?),
             "--uops" if a.pipeview => {
                 a.uops = val("--uops")?
                     .parse()
@@ -136,6 +148,8 @@ struct Args {
     trace: bool,
     report: bool,
     pipeview: bool,
+    cpistack: bool,
+    compare: Option<String>,
     out: Option<String>,
     last: usize,
     check: bool,
@@ -160,6 +174,8 @@ impl Default for Args {
             trace: false,
             report: false,
             pipeview: false,
+            cpistack: false,
+            compare: None,
             out: None,
             last: 4096,
             check: false,
@@ -171,8 +187,15 @@ impl Default for Args {
 }
 
 fn config(a: &Args) -> Result<MachineConfig, String> {
+    config_named(a, &a.sched)
+}
+
+/// Build a machine configuration for `sched` with `a`'s knobs (queue
+/// size, formation stages, ideal-branch/memory). `cpistack --compare`
+/// needs configurations for schedulers other than `a.sched`.
+fn config_named(a: &Args, sched: &str) -> Result<MachineConfig, String> {
     let q = if a.queue == 0 { None } else { Some(a.queue) };
-    let mut cfg = match a.sched.as_str() {
+    let mut cfg = match sched {
         "base" => {
             let mut c = MachineConfig::base_32();
             c.sched.queue_entries = q;
@@ -221,6 +244,7 @@ fn config(a: &Args) -> Result<MachineConfig, String> {
 fn run_report<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, build_seconds: f64) -> bool {
     let mut sim = Simulator::new(cfg, trace);
     sim.enable_metrics(a.interval);
+    sim.enable_slot_accounting();
     let t = Instant::now();
     sim.run(a.insts);
     let sim_seconds = t.elapsed().as_secs_f64();
@@ -277,6 +301,80 @@ fn run_pipeview<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, program:
             true
         }
     }
+}
+
+/// Canonical CLI spelling for a scheduler name, accepting the paper-ish
+/// aliases used in `--compare base,twocycle,mop`.
+fn canonical_sched(name: &str) -> &str {
+    match name {
+        "twocycle" | "two-cycle" => "2cycle",
+        "mop" | "macroop" | "macro-op" => "mop-wor",
+        other => other,
+    }
+}
+
+/// Run `cpistack` mode: simulate the workload with slot accounting on —
+/// once, or once per `--compare` scheduler — check the conservation
+/// invariant, and print the (differential) CPI stack.
+fn run_cpistack(a: &Args) -> Result<(), String> {
+    let scheds: Vec<String> = match &a.compare {
+        Some(list) => list
+            .split(',')
+            .map(|s| canonical_sched(s.trim()).to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        None => vec![canonical_sched(&a.sched).to_string()],
+    };
+    if scheds.is_empty() {
+        return Err("--compare needs at least one scheduler".into());
+    }
+    let bench_name = a.kernel.clone().unwrap_or_else(|| a.bench.clone());
+    let mut stacks = Vec::new();
+    for sched in &scheds {
+        let cfg = config_named(a, sched)?;
+        let width = cfg.sched.issue_width as u64;
+        let stats = if let Some(kname) = &a.kernel {
+            let kernel = workload::kernels::by_name(kname)
+                .ok_or_else(|| format!("unknown kernel `{kname}`"))?;
+            let image = kernel.image();
+            let mut sim = Simulator::new(cfg, asm::Interpreter::new(&image));
+            sim.enable_slot_accounting();
+            sim.run(a.insts)
+        } else {
+            let spec = workload::spec2000::by_name(&a.bench)
+                .ok_or_else(|| format!("unknown benchmark `{}`", a.bench))?;
+            let mut sim = Simulator::new(cfg, spec.trace(a.seed));
+            sim.enable_slot_accounting();
+            sim.run(a.insts)
+        };
+        let stack = CpiStack::from_stats(&bench_name, sched, width, &stats);
+        stack.check_conservation().map_err(|e| format!("{sched}: {e}"))?;
+        stacks.push(stack);
+    }
+    if stacks.len() == 1 {
+        print!("{}", stacks[0].to_markdown());
+    } else {
+        print!("{}", cpistack::compare_markdown(&stacks));
+        println!(
+            "conservation: ok for all {} stacks ({} cycles x width each)",
+            stacks.len(),
+            stacks
+                .iter()
+                .map(|s| s.cycles.to_string())
+                .collect::<Vec<_>>()
+                .join("/")
+        );
+    }
+    if let Some(path) = &a.json {
+        let doc = if stacks.len() == 1 {
+            stacks[0].to_json()
+        } else {
+            cpistack::compare_json(&stacks)
+        };
+        std::fs::write(path, doc).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("cpistack: wrote JSON to {path}");
+    }
+    Ok(())
 }
 
 fn run<T: TraceSource>(
@@ -365,6 +463,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if a.cpistack {
+        return match run_cpistack(&a) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let cfg = match config(&a) {
         Ok(c) => c,
         Err(e) => {
