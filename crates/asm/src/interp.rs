@@ -176,9 +176,14 @@ impl Interpreter {
                 ((rs(s, 0) as u64).wrapping_shr(inst.imm() as u32 & 63)) as i64,
             ),
             Sra => s.set_int_reg(inst.dst_raw(), rs(s, 0).wrapping_shr(rs(s, 1) as u32 & 63)),
+            Srai => s.set_int_reg(inst.dst_raw(), rs(s, 0).wrapping_shr(inst.imm() as u32 & 63)),
             Slt => s.set_int_reg(inst.dst_raw(), i64::from(rs(s, 0) < rs(s, 1))),
             Sltu => s.set_int_reg(inst.dst_raw(), i64::from((rs(s, 0) as u64) < (rs(s, 1) as u64))),
             Slti => s.set_int_reg(inst.dst_raw(), i64::from(rs(s, 0) < inst.imm())),
+            Sltiu => s.set_int_reg(
+                inst.dst_raw(),
+                i64::from((rs(s, 0) as u64) < (inst.imm() as u64)),
+            ),
             Cmpeq => s.set_int_reg(inst.dst_raw(), i64::from(rs(s, 0) == rs(s, 1))),
             Li => s.set_int_reg(inst.dst_raw(), inst.imm()),
             Mov => s.set_int_reg(inst.dst_raw(), rs(s, 0)),
@@ -225,6 +230,20 @@ impl Interpreter {
                     Bnez => v != 0,
                     Bltz => v < 0,
                     _ => v >= 0,
+                };
+                if taken {
+                    next = inst.target().expect("validated branch target");
+                }
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let (a, b) = (rs(s, 0), rs(s, 1));
+                taken = match inst.opcode() {
+                    Beq => a == b,
+                    Bne => a != b,
+                    Blt => a < b,
+                    Bge => a >= b,
+                    Bltu => (a as u64) < (b as u64),
+                    _ => (a as u64) >= (b as u64),
                 };
                 if taken {
                     next = inst.target().expect("validated branch target");
@@ -373,6 +392,30 @@ mod tests {
             ftoi r2, f2
             halt");
         assert_eq!(s.int_reg(Reg::int(2)), 7);
+    }
+
+    #[test]
+    fn two_source_branches_and_imm_shifts() {
+        let (trace, s) = run(r"
+            li   r1, -8
+            srai r2, r1, 1      ; -4 (arithmetic)
+            sltiu r3, r1, 3     ; -8 as unsigned is huge -> 0
+            li   r4, 5
+            li   r5, 5
+            beq  r4, r5, eq     ; taken
+            li   r6, 111
+        eq:
+            blt  r1, r4, lt     ; -8 < 5, taken
+            li   r6, 222
+        lt:
+            bgeu r1, r4, done   ; unsigned -8 >= 5, taken
+            li   r6, 333
+        done:
+            halt");
+        assert_eq!(s.int_reg(Reg::int(2)), -4);
+        assert_eq!(s.int_reg(Reg::int(3)), 0);
+        assert_eq!(s.int_reg(Reg::int(6)), 0, "all three branches taken");
+        assert_eq!(trace.iter().filter(|d| d.taken).count(), 3);
     }
 
     #[test]

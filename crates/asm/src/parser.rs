@@ -193,7 +193,7 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
                     parse_reg(ops[2], lineno)?,
                 )
             }
-            Addi | Subi | Andi | Ori | Xori | Slli | Srli | Slti => {
+            Addi | Subi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Sltiu => {
                 expect(3)?;
                 StaticInst::alui(
                     op,
@@ -230,6 +230,16 @@ pub fn assemble(src: &str) -> Result<Image, AsmError> {
                 expect(2)?;
                 pending = PendingTarget::Label(ops[1].to_owned());
                 StaticInst::branch(op, parse_reg(ops[0], lineno)?, 0)
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                expect(3)?;
+                pending = PendingTarget::Label(ops[2].to_owned());
+                StaticInst::branch2(
+                    op,
+                    parse_reg(ops[0], lineno)?,
+                    parse_reg(ops[1], lineno)?,
+                    0,
+                )
             }
             Jmp => {
                 expect(1)?;

@@ -18,12 +18,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use mos_experiments::{
-    ablations, extensions, fig13, fig14, fig15, fig16, fig6, fig7, runner, tables,
+    ablations, extensions, fig13, fig14, fig15, fig16, fig6, fig7, runner, rvsuite, tables,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments <table1|table2|fig6|fig7|fig13|fig14|fig15|fig16|ablations|extensions|all|perf> \
+        "usage: experiments <table1|table2|fig6|fig7|fig13|fig14|fig15|fig16|ablations|extensions|rv|all|perf> \
          [--insts N] [--jobs N] [--out PATH]"
     );
     ExitCode::FAILURE
@@ -74,6 +74,7 @@ fn main() -> ExitCode {
             "fig16" => Some(fig16::run_with(insts, jobs).to_string()),
             "ablations" => Some(ablations::run_all_with(insts, jobs)),
             "extensions" => Some(extensions::run_all_with(insts, jobs)),
+            "rv" => Some(rvsuite::run_with(jobs).to_string()),
             _ => None,
         }
     };
@@ -81,7 +82,7 @@ fn main() -> ExitCode {
     if what == "all" {
         for w in [
             "table1", "table2", "fig6", "fig7", "fig13", "fig14", "fig15", "fig16", "ablations",
-            "extensions",
+            "extensions", "rv",
         ] {
             println!("{}", run_one(w).expect("known experiment"));
         }
@@ -113,7 +114,7 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     }
 
     type Sweep = (&'static str, Box<dyn Fn()>);
-    let sweeps: [Sweep; 7] = [
+    let sweeps: [Sweep; 8] = [
         ("table2", Box::new(move || drop(tables::table2_with(insts, jobs)))),
         ("fig13", Box::new(move || drop(fig13::run_with(insts, jobs)))),
         ("fig14", Box::new(move || drop(fig14::run_with(insts, jobs)))),
@@ -121,6 +122,9 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
         ("fig16", Box::new(move || drop(fig16::run_with(insts, jobs)))),
         ("ablations", Box::new(move || drop(ablations::run_all_with(insts, jobs)))),
         ("extensions", Box::new(move || drop(extensions::run_all_with(insts, jobs)))),
+        // The RV32 real-program suite under all 7 scheduler kinds; the
+        // programs run to their own halt, so this sweep ignores --insts.
+        ("rv", Box::new(move || drop(rvsuite::sweep(jobs)))),
     ];
 
     let mut entries = Vec::new();
@@ -195,6 +199,25 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
         plain.cycles
     );
 
+    // MOP pairability and sched_loop share on the RV32 real-program
+    // suite: does real code confirm the synthetic-workload story?
+    runner::take_simulated_cycles(); // probe runs stay out of the totals
+    runner::take_simulated_commits();
+    runner::take_sched_kinds();
+    let rv_probe = rvsuite::probe();
+    runner::take_simulated_cycles();
+    runner::take_simulated_commits();
+    runner::take_sched_kinds();
+    for r in &rv_probe {
+        eprintln!(
+            "perf: rv probe {:12} pairability {:5.1}%  sched_loop 2cycle {:5.1}% / mop-wor {:5.1}%",
+            r.program,
+            r.pairability * 100.0,
+            r.sched_loop_2cycle * 100.0,
+            r.sched_loop_mop * 100.0
+        );
+    }
+
     // Hand-rolled JSON: the workspace deliberately has no serde_json.
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"insts_per_sim\": {insts},\n"));
@@ -229,6 +252,18 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
         probe_stack.to_json()
     ));
     json.push_str("  },\n");
+    json.push_str("  \"rv_probe\": [\n");
+    for (i, r) in rv_probe.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"program\": \"{}\", \"mop_pairability\": {:.4}, \"sched_loop_share_2cycle\": {:.4}, \"sched_loop_share_mop_wor\": {:.4}}}{}\n",
+            r.program,
+            r.pairability,
+            r.sched_loop_2cycle,
+            r.sched_loop_mop,
+            if i + 1 < rv_probe.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
     json.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
     json.push_str(&format!("  \"total_sim_cycles\": {total_cycles},\n"));
     json.push_str(&format!("  \"total_sim_commits\": {total_commits},\n"));

@@ -151,6 +151,15 @@ static SIM_CYCLES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::
 /// per-figure committed counts in `experiments perf` output).
 static SIM_COMMITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
+/// Credit an out-of-band simulation (e.g. the RV32 suite sweep, whose
+/// traces do not come from [`Job`]) to the global perf counters, exactly
+/// as [`Job::run`] does for benchmark jobs.
+pub fn tally(stats: &SimStats, cfg: &MachineConfig) {
+    SIM_CYCLES.fetch_add(stats.cycles, Ordering::Relaxed);
+    SIM_COMMITS.fetch_add(stats.committed, Ordering::Relaxed);
+    SCHED_KINDS.fetch_or(1 << sched_label_index(cfg), Ordering::Relaxed);
+}
+
 /// Read and reset the global simulated-cycle counter.
 pub fn take_simulated_cycles() -> u64 {
     SIM_CYCLES.swap(0, Ordering::Relaxed)

@@ -1,0 +1,169 @@
+//! The RV32 suite as an experiment workload: run every real program in
+//! `mos_rv::suite` under every scheduler kind, and probe the two numbers
+//! the paper's story turns on for real code — MOP pairability (what
+//! fraction of issued entries were grouped) and the sched_loop CPI share
+//! (the loose-loop tax the 2-cycle scheduler pays and macro-op
+//! scheduling removes).
+//!
+//! Unlike the synthetic benchmark figures, these runs execute to the
+//! program's own halt (the suite programs are small), so the sweep is
+//! budget-independent. `experiments rv` prints the table;
+//! `experiments perf` times the sweep and records the probe in
+//! `BENCH_sim.json`.
+
+use std::fmt;
+
+use mos_core::SlotCause;
+use mos_rv::suite::{self, RvTestProgram};
+use mos_rv::{config_for, RvTraceSource, SCHED_KINDS};
+use mos_sim::{CpiStack, Simulator, SimStats};
+
+use crate::runner;
+
+/// One (program, scheduler) simulation of the sweep.
+#[derive(Debug, Clone)]
+pub struct RvRun {
+    /// Suite program name.
+    pub program: &'static str,
+    /// Scheduler label (one of [`mos_rv::SCHED_KINDS`]).
+    pub sched: &'static str,
+    /// Run statistics (the program ran to its halt).
+    pub stats: SimStats,
+}
+
+fn run_to_halt(p: &RvTestProgram, sched: &str, accounted: bool) -> SimStats {
+    let prog = p.assemble();
+    let cfg = config_for(sched).unwrap_or_else(|| panic!("unknown scheduler `{sched}`"));
+    let trace = RvTraceSource::new(&prog)
+        .unwrap_or_else(|e| panic!("suite program `{}` does not lower: {e}", p.name));
+    let mut sim = Simulator::new(cfg.clone(), trace);
+    if accounted {
+        sim.enable_slot_accounting();
+    }
+    let stats = sim.run(u64::MAX);
+    runner::tally(&stats, &cfg);
+    stats
+}
+
+/// Run the whole suite under every scheduler kind (fanned across `jobs`
+/// worker threads), results in (program, scheduler) order.
+pub fn sweep(jobs: usize) -> Vec<RvRun> {
+    let mut cells = Vec::new();
+    for p in &suite::PROGRAMS {
+        for sched in SCHED_KINDS {
+            cells.push((p, sched));
+        }
+    }
+    runner::parallel_map(&cells, jobs, |&(p, sched)| RvRun {
+        program: p.name,
+        sched,
+        stats: run_to_halt(p, sched, false),
+    })
+}
+
+/// The sweep as a printable table (IPC per program per scheduler).
+pub struct RvReport(Vec<RvRun>);
+
+/// Run the sweep and wrap it for display.
+pub fn run_with(jobs: usize) -> RvReport {
+    RvReport(sweep(jobs))
+}
+
+impl fmt::Display for RvReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "RV32 suite IPC by scheduler (programs run to halt)")?;
+        write!(f, "{:12}", "program")?;
+        for sched in SCHED_KINDS {
+            write!(f, " {sched:>13}")?;
+        }
+        writeln!(f)?;
+        for p in &suite::PROGRAMS {
+            write!(f, "{:12}", p.name)?;
+            for sched in SCHED_KINDS {
+                let run = self
+                    .0
+                    .iter()
+                    .find(|r| r.program == p.name && r.sched == sched)
+                    .expect("sweep covers the full grid");
+                write!(f, " {:>13.3}", run.stats.ipc())?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-program probe of the paper's two real-code questions: how much of
+/// the committed stream macro-op formation pairs up, and how much of the
+/// issue bandwidth each loop discipline loses to the scheduling loop.
+#[derive(Debug, Clone)]
+pub struct RvProbe {
+    /// Suite program name.
+    pub program: &'static str,
+    /// Fraction of issued entries that were grouped under mop-wor
+    /// (`SimStats::grouped_frac`): the MOP pairability of real code.
+    pub pairability: f64,
+    /// sched_loop share of issue slots under the 2-cycle scheduler.
+    pub sched_loop_2cycle: f64,
+    /// sched_loop share of issue slots under mop-wor.
+    pub sched_loop_mop: f64,
+}
+
+/// Run the probe over the whole suite. Each run's CPI stack must satisfy
+/// the slot-conservation law.
+pub fn probe() -> Vec<RvProbe> {
+    suite::PROGRAMS
+        .iter()
+        .map(|p| {
+            let share = |sched: &str, stats: &SimStats| {
+                let width = config_for(sched).expect("known scheduler").sched.issue_width as u64;
+                let stack = CpiStack::from_stats(p.name, sched, width, stats);
+                stack
+                    .check_conservation()
+                    .unwrap_or_else(|e| panic!("{}/{sched}: {e}", p.name));
+                stack.share(SlotCause::SchedLoop)
+            };
+            let two = run_to_halt(p, "2cycle", true);
+            let mop = run_to_halt(p, "mop-wor", true);
+            RvProbe {
+                program: p.name,
+                pairability: mop.grouped_frac(),
+                sched_loop_2cycle: share("2cycle", &two),
+                sched_loop_mop: share("mop-wor", &mop),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_the_full_grid_and_is_job_count_invariant() {
+        let serial = sweep(1);
+        let threaded = sweep(4);
+        assert_eq!(serial.len(), suite::PROGRAMS.len() * SCHED_KINDS.len());
+        for (a, b) in serial.iter().zip(threaded.iter()) {
+            assert_eq!(a.program, b.program);
+            assert_eq!(a.sched, b.sched);
+            assert_eq!(a.stats.cycles, b.stats.cycles);
+            assert_eq!(a.stats.committed, b.stats.committed);
+        }
+    }
+
+    #[test]
+    fn probe_reproduces_the_sched_loop_ordering() {
+        let rows = probe();
+        assert_eq!(rows.len(), suite::PROGRAMS.len());
+        let sum = rows
+            .iter()
+            .find(|r| r.program == "sum_loop")
+            .expect("sum_loop probed");
+        assert!(sum.pairability > 0.3, "sum_loop pairs heavily: {sum:?}");
+        assert!(
+            sum.sched_loop_2cycle > sum.sched_loop_mop,
+            "macro-op scheduling must shrink the sched_loop share: {sum:?}"
+        );
+    }
+}

@@ -111,6 +111,16 @@ impl StaticInst {
         StaticInst::new(op, None, [Some(rs), None], 0, Some(target))
     }
 
+    /// Two-source conditional branch `op rs1, rs2, target` (the shape RV32
+    /// branches lower to) where `target` is a static index.
+    pub fn branch2(op: Opcode, rs1: Reg, rs2: Reg, target: u32) -> StaticInst {
+        debug_assert!(matches!(
+            op,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bltu | Opcode::Bgeu
+        ));
+        StaticInst::new(op, None, [Some(rs1), Some(rs2)], 0, Some(target))
+    }
+
     /// Unconditional direct jump to a static index.
     pub fn jmp(target: u32) -> StaticInst {
         StaticInst::new(Opcode::Jmp, None, [None, None], 0, Some(target))
@@ -267,7 +277,7 @@ impl StaticInst {
         use Opcode::*;
         matches!(
             self.opcode,
-            Addi | Subi | Andi | Ori | Xori | Slli | Srli | Slti | Li
+            Addi | Subi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Sltiu | Li
         )
     }
 }
@@ -290,6 +300,19 @@ mod tests {
         assert!(b.is_mop_candidate());
         assert!(!b.is_value_generating_candidate());
         assert_eq!(b.target(), Some(7));
+    }
+
+    #[test]
+    fn two_source_branch_carries_both_dependences() {
+        let b = StaticInst::branch2(Opcode::Blt, Reg::int(3), Reg::int(4), 9);
+        assert!(b.is_mop_candidate());
+        assert!(!b.is_value_generating_candidate());
+        assert!(b.is_cond_branch());
+        assert_eq!(b.src_regs().count(), 2);
+        assert_eq!(b.target(), Some(9));
+        // A zero-register operand drops out of the dependence view.
+        let bz = StaticInst::branch2(Opcode::Bne, Reg::int(3), Reg::ZERO, 2);
+        assert_eq!(bz.src_regs().count(), 1);
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub enum Opcode {
     Slt,
     Sltu,
     Slti,
+    Sltiu,
+    Srai,
     Cmpeq,
     /// Load immediate into a register (`li rd, imm`).
     Li,
@@ -68,6 +70,18 @@ pub enum Opcode {
     Bltz,
     /// Branch if greater or equal zero: `bgez rs, label`.
     Bgez,
+    /// Two-source branch if equal: `beq rs1, rs2, label` (RV lowering target).
+    Beq,
+    /// Two-source branch if not equal: `bne rs1, rs2, label`.
+    Bne,
+    /// Two-source branch if less than (signed): `blt rs1, rs2, label`.
+    Blt,
+    /// Two-source branch if greater or equal (signed): `bge rs1, rs2, label`.
+    Bge,
+    /// Two-source branch if less than (unsigned): `bltu rs1, rs2, label`.
+    Bltu,
+    /// Two-source branch if greater or equal (unsigned): `bgeu rs1, rs2, label`.
+    Bgeu,
     /// Unconditional direct jump: `j label`.
     Jmp,
     /// Direct call, writes return address to `ra`: `call label`.
@@ -90,7 +104,9 @@ impl Opcode {
         use Opcode::*;
         match self {
             Add | Addi | Sub | Subi | And | Andi | Or | Ori | Xor | Xori | Not | Sll | Slli
-            | Srl | Srli | Sra | Slt | Sltu | Slti | Cmpeq | Li | Mov => InstClass::IntAlu,
+            | Srl | Srli | Sra | Srai | Slt | Sltu | Slti | Sltiu | Cmpeq | Li | Mov => {
+                InstClass::IntAlu
+            }
             Mul => InstClass::IntMul,
             Div => InstClass::IntDiv,
             Fadd | Fsub | Fneg | Itof | Ftoi => InstClass::FpAlu,
@@ -98,7 +114,9 @@ impl Opcode {
             Fdiv => InstClass::FpDiv,
             Ld | Fld => InstClass::Load,
             St | Fst => InstClass::Store,
-            Beqz | Bnez | Bltz | Bgez => InstClass::CondBranch,
+            Beqz | Bnez | Bltz | Bgez | Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                InstClass::CondBranch
+            }
             Jmp => InstClass::Jump,
             Call => InstClass::Call,
             Jr => InstClass::IndirectJump,
@@ -131,6 +149,8 @@ impl Opcode {
             Slt => "slt",
             Sltu => "sltu",
             Slti => "slti",
+            Sltiu => "sltiu",
+            Srai => "srai",
             Cmpeq => "cmpeq",
             Li => "li",
             Mov => "mov",
@@ -151,6 +171,12 @@ impl Opcode {
             Bnez => "bnez",
             Bltz => "bltz",
             Bgez => "bgez",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
             Jmp => "j",
             Call => "call",
             Jr => "jr",
@@ -165,8 +191,9 @@ impl Opcode {
         use Opcode::*;
         [
             Add, Addi, Sub, Subi, And, Andi, Or, Ori, Xor, Xori, Not, Sll, Slli, Srl, Srli, Sra,
-            Slt, Sltu, Slti, Cmpeq, Li, Mov, Mul, Div, Fadd, Fsub, Fmul, Fdiv, Fneg, Itof, Ftoi,
-            Ld, St, Fld, Fst, Beqz, Bnez, Bltz, Bgez, Jmp, Call, Jr, Ret, Nop, Halt,
+            Srai, Slt, Sltu, Slti, Sltiu, Cmpeq, Li, Mov, Mul, Div, Fadd, Fsub, Fmul, Fdiv, Fneg,
+            Itof, Ftoi, Ld, St, Fld, Fst, Beqz, Bnez, Bltz, Bgez, Beq, Bne, Blt, Bge, Bltu, Bgeu,
+            Jmp, Call, Jr, Ret, Nop, Halt,
         ]
         .into_iter()
     }

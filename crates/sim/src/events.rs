@@ -55,3 +55,113 @@ impl EventSink for SharedRing {
         self.0.borrow().dropped_count()
     }
 }
+
+/// A clonable handle to an unbounded committed-uop log.
+///
+/// Records the static index of every [`TraceEvent::Commit`] in retirement
+/// order. Unlike [`SharedRing`] nothing ever falls off, so a differential
+/// harness can compare the *entire* committed sequence against a functional
+/// interpreter's expansion — the property the RV32 oracle asserts.
+#[derive(Debug, Clone, Default)]
+pub struct SharedCommitLog(Rc<RefCell<Vec<u32>>>);
+
+impl SharedCommitLog {
+    /// Fresh, empty log.
+    pub fn new() -> SharedCommitLog {
+        SharedCommitLog::default()
+    }
+
+    /// Number of commits observed so far.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// `true` when nothing has committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    /// Run `f` against the committed static-index sequence.
+    pub fn with<R>(&self, f: impl FnOnce(&[u32]) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Drain the log, returning the committed static-index sequence.
+    pub fn take(&self) -> Vec<u32> {
+        std::mem::take(&mut *self.0.borrow_mut())
+    }
+}
+
+impl EventSink for SharedCommitLog {
+    fn emit(&mut self, ev: &TraceEvent) {
+        if let TraceEvent::Commit { sidx, .. } = ev {
+            self.0.borrow_mut().push(*sidx);
+        }
+    }
+}
+
+/// Fans one event stream out to two sinks, e.g. a bounded ring for failure
+/// excerpts plus an unbounded commit log for differential checking.
+pub struct TeeSink(pub Box<dyn EventSink>, pub Box<dyn EventSink>);
+
+impl EventSink for TeeSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.0.emit(ev);
+        self.1.emit(ev);
+    }
+
+    fn dropped(&self) -> u64 {
+        self.0.dropped() + self.1.dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mos_core::UopId;
+
+    fn commit(cycle: u64, sidx: u32) -> TraceEvent {
+        TraceEvent::Commit {
+            cycle,
+            id: UopId(cycle),
+            sidx,
+            complete_at: cycle,
+        }
+    }
+
+    #[test]
+    fn commit_log_keeps_every_commit_in_order() {
+        let log = SharedCommitLog::new();
+        let mut sink = log.clone();
+        for i in 0..100u32 {
+            sink.emit(&commit(u64::from(i), i % 7));
+        }
+        assert_eq!(log.len(), 100);
+        log.with(|s| assert_eq!(s[13], 13 % 7));
+        assert_eq!(log.take().len(), 100);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn commit_log_ignores_other_events() {
+        let log = SharedCommitLog::new();
+        let mut sink = log.clone();
+        sink.emit(&TraceEvent::Fetch {
+            cycle: 1,
+            sidx: 0,
+            wrong_path: false,
+            pointer: false,
+        });
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let ring = SharedRing::new(4);
+        let log = SharedCommitLog::new();
+        let mut tee = TeeSink(Box::new(ring.clone()), Box::new(log.clone()));
+        tee.emit(&commit(3, 9));
+        assert_eq!(ring.total_seen(), 1);
+        assert_eq!(log.take(), vec![9]);
+    }
+}

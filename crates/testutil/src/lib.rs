@@ -11,7 +11,7 @@ pub mod json;
 
 use mos_isa::TraceSource;
 use mos_sim::timeline::UopTimeline;
-use mos_sim::{MachineConfig, SharedRing, SimStats, Simulator};
+use mos_sim::{MachineConfig, SharedCommitLog, SharedRing, SimStats, Simulator, TeeSink};
 
 /// How many trailing events a failure excerpt shows by default.
 pub const EXCERPT_EVENTS: usize = 32;
@@ -72,6 +72,28 @@ pub fn run_traced<T: TraceSource>(
     keep_last: usize,
 ) -> TracedRun {
     run_traced_with_timeline(cfg, trace, max_commits, keep_last, 0)
+}
+
+/// [`run_traced`] that additionally records the full committed static-index
+/// sequence (unbounded), for differential comparison against a functional
+/// oracle's expected expansion. Returns the run plus the commit sequence.
+pub fn run_traced_with_commits<T: TraceSource>(
+    cfg: MachineConfig,
+    trace: T,
+    max_commits: u64,
+    keep_last: usize,
+) -> (TracedRun, Vec<u32>) {
+    let mut sim = Simulator::new(cfg, trace);
+    let ring = SharedRing::new(keep_last);
+    let log = SharedCommitLog::new();
+    sim.set_event_sink(Box::new(TeeSink(Box::new(ring.clone()), Box::new(log.clone()))));
+    let stats = sim.run(max_commits);
+    let run = TracedRun {
+        stats,
+        timelines: Vec::new(),
+        ring,
+    };
+    (run, log.take())
 }
 
 /// [`run_traced`] that additionally records the first `uops` uop

@@ -9,6 +9,9 @@
 #   6. `mossim cpistack` smoke per scheduler model (conservation + JSON)
 #      plus the base/2cycle/mop differential, and the perf-history gate
 #      in warn-only mode
+#   7. RV32 frontend smoke per scheduler model (assemble a real program,
+#      run it, trace --check, cpistack), the `mossim rvdiff` differential
+#      oracle over the whole suite, and its base/2cycle/mop CPI stacks
 # Optional extras with --full: jobs-determinism check + perf snapshot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -63,6 +66,31 @@ grep -q "| sched_loop |" /tmp/verify_cpistack_diff.md
 grep -q "conservation: ok for all 3 stacks" /tmp/verify_cpistack_diff.md
 grep -q '"deltas":\[{"sched":"2cycle","vs":"base"' /tmp/verify_cpistack_diff.json
 echo "  differential stacks ok"
+
+echo "== rv32 frontend smoke (assemble -> run -> trace --check -> cpistack) =="
+for sched in base 2cycle mop-2src mop-wor sf-squash sf-scoreboard spec-wakeup; do
+    ./target/release/mossim trace --rv tests/programs/sum_loop.s --sched "$sched" \
+        --check --out "/tmp/verify_rv_trace_${sched}.jsonl" \
+        > "/tmp/verify_rv_trace_${sched}.txt"
+    grep -q "no scheduling-invariant violations" "/tmp/verify_rv_trace_${sched}.txt"
+    ./target/release/mossim cpistack --rv tests/programs/sum_loop.s --sched "$sched" \
+        > "/tmp/verify_rv_cpistack_${sched}.md"
+    grep -q "conservation: ok" "/tmp/verify_rv_cpistack_${sched}.md"
+    echo "  $sched: rv trace oracle clean + slots conserve"
+done
+
+echo "== rv32 differential oracle (full suite x all schedulers) =="
+./target/release/mossim rvdiff > /tmp/verify_rvdiff.txt
+grep -q "all committed traces and final states match the functional oracle" \
+    /tmp/verify_rvdiff.txt
+echo "  rvdiff: ok"
+
+echo "== rv32 differential cpistack (base vs 2cycle vs mop) =="
+./target/release/mossim cpistack --rv sum_loop --compare base,twocycle,mop \
+    > /tmp/verify_rv_cpistack_diff.md
+grep -q "| sched_loop |" /tmp/verify_rv_cpistack_diff.md
+grep -q "conservation: ok for all 3 stacks" /tmp/verify_rv_cpistack_diff.md
+echo "  rv differential stacks ok"
 
 echo "== perf-history gate (warn-only) =="
 ./scripts/perf_gate.sh --warn-only

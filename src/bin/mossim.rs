@@ -2,9 +2,13 @@
 //! the full statistics report.
 //!
 //! ```text
-//! mossim [trace|report|pipeview|cpistack] [options]
+//! mossim [trace|report|pipeview|cpistack|rvdiff] [options]
 //!   --bench NAME        benchmark model (default gzip) or kernel with --kernel
 //!   --kernel NAME       run an assembly kernel instead of a benchmark model
+//!   --rv PROG           run a real RV32 program instead: a suite name
+//!                       (sum_loop, fib_rec, memcpy, strlen, gcd, collatz,
+//!                       bubble_sort), a .s assembly file, or a flat
+//!                       little-endian RV32 binary
 //!   --sched KIND        base | 2cycle | mop-2src | mop-wor | sf-squash |
 //!                       sf-scoreboard | spec-wakeup  (default mop-wor)
 //!   --queue N           issue-queue entries; 0 = unrestricted (default 32)
@@ -37,6 +41,10 @@
 //!                       and print per-cause share deltas vs the first
 //!                       (aliases: twocycle = 2cycle, mop = mop-wor)
 //!   --json FILE         also write the stack(s) as one JSON document
+//!
+//! rvdiff mode (differential functional oracle over RV32 programs):
+//!   --rv PROG           check one program (default: the whole suite)
+//!   --sched KIND        check one scheduler (default: all seven)
 //! ```
 
 use std::process::ExitCode;
@@ -48,7 +56,7 @@ use mopsched::sim::cpistack::{self, CpiStack};
 use mopsched::sim::metrics::DEFAULT_INTERVAL;
 use mopsched::sim::report::{HostProfile, RunMeta, RunReport};
 use mopsched::sim::{MachineConfig, OracleMode, SharedRing, Simulator};
-use mopsched::{asm, workload};
+use mopsched::{asm, rv, workload};
 
 fn parse() -> Result<Args, String> {
     let mut a = Args::default();
@@ -70,6 +78,10 @@ fn parse() -> Result<Args, String> {
             it.next();
             a.cpistack = true;
         }
+        Some("rvdiff") => {
+            it.next();
+            a.rvdiff = true;
+        }
         _ => {}
     }
     while let Some(flag) = it.next() {
@@ -80,7 +92,11 @@ fn parse() -> Result<Args, String> {
         match flag.as_str() {
             "--bench" => a.bench = val("--bench")?,
             "--kernel" => a.kernel = Some(val("--kernel")?),
-            "--sched" => a.sched = val("--sched")?,
+            "--rv" => a.rv = Some(val("--rv")?),
+            "--sched" => {
+                a.sched = val("--sched")?;
+                a.sched_explicit = true;
+            }
             "--queue" => {
                 a.queue = val("--queue")?
                     .parse()
@@ -137,7 +153,9 @@ fn parse() -> Result<Args, String> {
 struct Args {
     bench: String,
     kernel: Option<String>,
+    rv: Option<String>,
     sched: String,
+    sched_explicit: bool,
     queue: usize,
     stages: u32,
     insts: u64,
@@ -149,6 +167,7 @@ struct Args {
     report: bool,
     pipeview: bool,
     cpistack: bool,
+    rvdiff: bool,
     compare: Option<String>,
     out: Option<String>,
     last: usize,
@@ -163,7 +182,9 @@ impl Default for Args {
         Args {
             bench: "gzip".into(),
             kernel: None,
+            rv: None,
             sched: "mop-wor".into(),
+            sched_explicit: false,
             queue: 32,
             stages: 1,
             insts: 100_000,
@@ -175,6 +196,7 @@ impl Default for Args {
             report: false,
             pipeview: false,
             cpistack: false,
+            rvdiff: false,
             compare: None,
             out: None,
             last: 4096,
@@ -239,6 +261,89 @@ fn config_named(a: &Args, sched: &str) -> Result<MachineConfig, String> {
     Ok(cfg)
 }
 
+/// Load an RV32 program: a suite name, a `.s` assembly file, or a flat
+/// little-endian binary image.
+fn load_rv(spec: &str) -> Result<rv::RvProgram, String> {
+    if let Some(p) = rv::suite::by_name(spec) {
+        return Ok(p.assemble());
+    }
+    let name = std::path::Path::new(spec)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(spec)
+        .to_owned();
+    // A bare name that is neither a suite program nor a file is almost
+    // certainly a typo: name the suite instead of a bare read error.
+    if !std::path::Path::new(spec).exists() && !spec.contains(['/', '.']) {
+        let known: Vec<&str> = rv::suite::PROGRAMS.iter().map(|p| p.name).collect();
+        return Err(format!(
+            "unknown rv program `{spec}`; suite programs: {known:?} (or pass a .s / flat-binary path)"
+        ));
+    }
+    if spec.ends_with(".s") || spec.ends_with(".S") {
+        let src =
+            std::fs::read_to_string(spec).map_err(|e| format!("reading {spec}: {e}"))?;
+        rv::assemble(&name, &src).map_err(|e| format!("{spec}: {e}"))
+    } else {
+        let bytes = std::fs::read(spec).map_err(|e| format!("reading {spec}: {e}"))?;
+        rv::decode_flat(&name, &bytes).map_err(|e| format!("{spec}: {e}"))
+    }
+}
+
+/// Run `rvdiff` mode: the differential functional oracle over RV32
+/// programs × scheduler kinds. Any divergence is an error.
+fn run_rvdiff(a: &Args) -> Result<(), String> {
+    let programs: Vec<rv::RvProgram> = match &a.rv {
+        Some(spec) => vec![load_rv(spec)?],
+        None => rv::suite::PROGRAMS.iter().map(|p| p.assemble()).collect(),
+    };
+    let scheds: Vec<&str> = if a.sched_explicit && a.sched != "all" {
+        vec![canonical_sched(&a.sched)]
+    } else {
+        rv::SCHED_KINDS.to_vec()
+    };
+    // Validate every scheduler up front so a typo errors before output.
+    for sched in &scheds {
+        config_named(a, sched)?;
+    }
+    println!(
+        "{:<12} {:<14} {:>9} {:>9} {:>8} {:>6} {:>7}",
+        "program", "sched", "rv insts", "uops", "cycles", "ipc", "fusion"
+    );
+    let mut failures = 0;
+    for prog in &programs {
+        for sched in &scheds {
+            let cfg = config_named(a, sched)?;
+            match rv::run_differential(prog, sched, cfg, 10_000_000) {
+                Ok(rep) => println!(
+                    "{:<12} {:<14} {:>9} {:>9} {:>8} {:>6.3} {:>6.1}%",
+                    prog.name,
+                    sched,
+                    rep.rv_retired,
+                    rep.uops_committed,
+                    rep.cycles,
+                    rep.ipc,
+                    rep.fusion_rate * 100.0
+                ),
+                Err(e) => {
+                    eprintln!("FAIL {:<12} {:<14} {e}", prog.name, sched);
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} differential check(s) failed"));
+    }
+    println!(
+        "rvdiff: {} program(s) x {} scheduler(s), all committed traces and \
+         final states match the functional oracle",
+        programs.len(),
+        scheds.len()
+    );
+    Ok(())
+}
+
 /// Run `report` mode: simulate with interval metrics on, print the
 /// Markdown report, optionally also write the JSON document.
 fn run_report<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, build_seconds: f64) -> bool {
@@ -249,7 +354,11 @@ fn run_report<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, build_seco
     sim.run(a.insts);
     let sim_seconds = t.elapsed().as_secs_f64();
     let meta = RunMeta {
-        bench: a.kernel.clone().unwrap_or_else(|| a.bench.clone()),
+        bench: a
+            .kernel
+            .clone()
+            .or_else(|| a.rv.clone())
+            .unwrap_or_else(|| a.bench.clone()),
         sched: a.sched.clone(),
         insts: a.insts,
         seed: a.seed,
@@ -328,7 +437,11 @@ fn run_cpistack(a: &Args) -> Result<(), String> {
     if scheds.is_empty() {
         return Err("--compare needs at least one scheduler".into());
     }
-    let bench_name = a.kernel.clone().unwrap_or_else(|| a.bench.clone());
+    let bench_name = a
+        .kernel
+        .clone()
+        .or_else(|| a.rv.clone())
+        .unwrap_or_else(|| a.bench.clone());
     let mut stacks = Vec::new();
     for sched in &scheds {
         let cfg = config_named(a, sched)?;
@@ -338,6 +451,12 @@ fn run_cpistack(a: &Args) -> Result<(), String> {
                 .ok_or_else(|| format!("unknown kernel `{kname}`"))?;
             let image = kernel.image();
             let mut sim = Simulator::new(cfg, asm::Interpreter::new(&image));
+            sim.enable_slot_accounting();
+            sim.run(a.insts)
+        } else if let Some(rvspec) = &a.rv {
+            let prog = load_rv(rvspec)?;
+            let trace = rv::RvTraceSource::new(&prog).map_err(|e| e.to_string())?;
+            let mut sim = Simulator::new(cfg, trace);
             sim.enable_slot_accounting();
             sim.run(a.insts)
         } else {
@@ -463,8 +582,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if a.cpistack {
-        return match run_cpistack(&a) {
+    if a.cpistack || a.rvdiff {
+        let res = if a.cpistack { run_cpistack(&a) } else { run_rvdiff(&a) };
+        return match res {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: {e}");
@@ -483,7 +603,36 @@ fn main() -> ExitCode {
     // report prints Markdown and pipeview prints Kanata to stdout, so
     // the human banner is suppressed for both.
     let banner = !a.report && !a.pipeview;
-    if let Some(kname) = &a.kernel {
+    if let Some(rvspec) = &a.rv {
+        let build = Instant::now();
+        let prog = match load_rv(rvspec) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if banner {
+            println!(
+                "rv32 program `{}` ({} insts), scheduler {}, queue {:?}\n",
+                prog.name,
+                prog.len(),
+                a.sched,
+                cfg.sched.queue_entries
+            );
+        }
+        let trace = match rv::RvTraceSource::new(&prog) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: lowering `{}`: {e}", prog.name);
+                return ExitCode::FAILURE;
+            }
+        };
+        let program = trace.program().clone();
+        if !run(&a, cfg, trace, program, build.elapsed().as_secs_f64()) {
+            return ExitCode::FAILURE;
+        }
+    } else if let Some(kname) = &a.kernel {
         let Some(kernel) = workload::kernels::by_name(kname) else {
             eprintln!(
                 "unknown kernel `{kname}`; available: {:?}",

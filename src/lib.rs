@@ -9,6 +9,8 @@
 //!
 //! * [`isa`] — the RISC-style instruction set, static programs and traces,
 //! * [`asm`] — an assembler and functional interpreter,
+//! * [`rv`] — the RV32I(+M) frontend: assembler, loader, lowering and the
+//!   differential functional oracle for running real RISC-V programs,
 //! * [`analysis`] — dataflow-graph analysis and analytical schedule bounds,
 //! * [`workload`] — synthetic SPEC CINT2000 benchmark models and kernels,
 //! * [`uarch`] — branch predictors and the cache hierarchy,
@@ -35,6 +37,7 @@ pub use mos_core as core;
 pub use mos_experiments as experiments;
 pub use mos_isa as isa;
 pub use mos_metrics as metrics;
+pub use mos_rv as rv;
 pub use mos_sim as sim;
 pub use mos_uarch as uarch;
 pub use mos_workload as workload;

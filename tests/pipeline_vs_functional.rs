@@ -1,10 +1,13 @@
 //! Cross-crate integration: the timing pipeline must commit exactly the
 //! instruction stream the functional machine executes — for every kernel
-//! and every scheduler — and must be deterministic.
+//! and every scheduler — and must be deterministic. The same contract
+//! holds on the RV32 frontend, where the functional machine is the RV32
+//! interpreter behind `RvTraceSource`.
 
 use mopsched::asm::{assemble, Interpreter};
 use mopsched::core::WakeupStyle;
 use mopsched::isa::InstClass;
+use mopsched::rv;
 use mopsched::sim::{MachineConfig, Simulator};
 use mopsched::workload::kernels;
 
@@ -39,6 +42,42 @@ fn every_kernel_commits_identically_under_every_scheduler() {
                 stats.committed, expected,
                 "{}/{label}: committed {} != functional {}",
                 kernel.name, stats.committed, expected
+            );
+        }
+    }
+}
+
+/// The same commit-exactness contract on the RV32 path: the pipeline must
+/// commit exactly the uop stream the RV32 oracle's lowering expands to,
+/// for every suite program and every scheduler (this file's scheduler
+/// list, which includes off-preset variants like `mop-wor+2`).
+#[test]
+fn every_rv_program_commits_identically_under_every_scheduler() {
+    for p in &rv::suite::PROGRAMS {
+        let prog = p.assemble();
+        let lowered = rv::lower(&prog).expect("suite program lowers");
+        let mut interp = rv::RvInterp::new(&prog);
+        let steps = interp.run_collect(10_000_000);
+        assert!(interp.stopped_cleanly(), "{}: oracle must halt", p.name);
+        let expected: u64 = steps
+            .iter()
+            .map(|s| {
+                lowered
+                    .bundle(s.idx)
+                    .filter(|&u| {
+                        let class = lowered.program.inst(u).expect("valid uop").class();
+                        class != InstClass::Nop
+                    })
+                    .count() as u64
+            })
+            .sum();
+        for (label, cfg) in all_schedulers() {
+            let trace = rv::RvTraceSource::new(&prog).expect("lowers");
+            let stats = Simulator::new(cfg, trace).run(u64::MAX);
+            assert_eq!(
+                stats.committed, expected,
+                "{}/{label}: committed {} != functional {}",
+                p.name, stats.committed, expected
             );
         }
     }

@@ -1,0 +1,47 @@
+# bubble_sort: sort 32 descending words at 0x4000 ascending, then
+# checksum sum(a[i] * i) into a0 (expected 26784).
+#
+# Nested loops over word-sized memory with compare-and-swap traffic, plus
+# a multiply in the checksum.
+_start:
+    li   t0, 0x4000     # array base
+    li   t1, 0          # i
+    li   t2, 32         # n
+    li   t3, 64
+init:                   # a[i] = 64 - i  (descending 64..33)
+    slli t4, t1, 2
+    add  t4, t0, t4
+    sub  t5, t3, t1
+    sw   t5, 0(t4)
+    addi t1, t1, 1
+    bne  t1, t2, init
+
+    li   s1, 0          # pass
+pass:
+    li   t1, 0          # j
+inner:
+    slli t4, t1, 2
+    add  t4, t0, t4
+    lw   t5, 0(t4)
+    lw   t6, 4(t4)
+    bge  t6, t5, noswap
+    sw   t6, 0(t4)
+    sw   t5, 4(t4)
+noswap:
+    addi t1, t1, 1
+    li   t3, 31
+    bne  t1, t3, inner
+    addi s1, s1, 1
+    bne  s1, t3, pass
+
+    li   a0, 0          # checksum: sum a[i] * i
+    li   t1, 0
+chk:
+    slli t4, t1, 2
+    add  t4, t0, t4
+    lw   t5, 0(t4)
+    mul  t5, t5, t1
+    add  a0, a0, t5
+    addi t1, t1, 1
+    bne  t1, t2, chk
+    ebreak

@@ -1,0 +1,28 @@
+# collatz: total Collatz steps over seeds 1..=40, into a0 (expected 709).
+#
+# Hard-to-predict data-dependent branching — the branchy stress of the
+# suite.
+_start:
+    li   s0, 40         # seed
+    li   s1, 0          # total steps
+seed:
+    mv   t0, s0
+run:
+    li   t1, 1
+    beq  t0, t1, next
+    andi t2, t0, 1
+    beqz t2, even
+    slli t3, t0, 1      # odd: n = 3n + 1
+    add  t0, t3, t0
+    addi t0, t0, 1
+    j    step
+even:
+    srli t0, t0, 1      # even: n = n / 2
+step:
+    addi s1, s1, 1
+    j    run
+next:
+    addi s0, s0, -1
+    bnez s0, seed
+    mv   a0, s1
+    ebreak

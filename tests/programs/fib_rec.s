@@ -1,0 +1,29 @@
+# fib_rec: naive recursive Fibonacci, fib(12) = 144 in a0.
+#
+# Exercises call/ret (RAS prediction through the lowered Call/Ret uops),
+# a real downward-growing stack, and load/store round-trips of saved
+# registers across ~465 dynamic calls.
+_start:
+    li   a0, 12
+    call fib
+    ebreak
+
+fib:                    # a0 = n -> a0 = fib(n)
+    li   t0, 2
+    blt  a0, t0, base   # n < 2: fib(n) = n
+    addi sp, sp, -8
+    sw   ra, 4(sp)
+    sw   a0, 0(sp)
+    addi a0, a0, -1
+    call fib            # fib(n-1)
+    lw   t1, 0(sp)      # reload n
+    sw   a0, 0(sp)      # save fib(n-1)
+    addi a0, t1, -2
+    call fib            # fib(n-2)
+    lw   t1, 0(sp)      # fib(n-1)
+    add  a0, a0, t1
+    lw   ra, 4(sp)
+    addi sp, sp, 8
+    ret
+base:
+    ret

@@ -1,0 +1,22 @@
+# gcd: sum of gcd(i, 1071) for i = 1..=64 via Euclid's remainder loop,
+# into a0 (expected 354).
+#
+# Exercises the RV32M divider (rem) inside data-dependent control flow.
+_start:
+    li   s0, 64         # i
+    li   s1, 0          # accumulator
+outer:
+    mv   a0, s0
+    li   a1, 1071
+euclid:
+    beqz a1, got
+    rem  t0, a0, a1
+    mv   a0, a1
+    mv   a1, t0
+    j    euclid
+got:
+    add  s1, s1, a0
+    addi s0, s0, -1
+    bnez s0, outer
+    mv   a0, s1
+    ebreak

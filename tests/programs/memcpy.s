@@ -1,0 +1,34 @@
+# memcpy: build src[i] = i & 0xff for 256 bytes at 0x2000, byte-copy it
+# to 0x3000, then checksum the destination into a0 (expected 32640).
+#
+# Streaming byte loads/stores with address arithmetic — the memory-kernel
+# shape of the suite.
+_start:
+    li   t0, 0x2000     # src base
+    li   t1, 0          # i
+    li   t2, 256        # len
+init:
+    add  t4, t0, t1
+    sb   t1, 0(t4)
+    addi t1, t1, 1
+    bne  t1, t2, init
+
+    li   t3, 0x3000     # dst base
+    li   t1, 0
+copy:
+    add  t4, t0, t1
+    lbu  t5, 0(t4)
+    add  t4, t3, t1
+    sb   t5, 0(t4)
+    addi t1, t1, 1
+    bne  t1, t2, copy
+
+    li   a0, 0          # checksum dst
+    li   t1, 0
+sum:
+    add  t4, t3, t1
+    lbu  t5, 0(t4)
+    add  a0, a0, t5
+    addi t1, t1, 1
+    bne  t1, t2, sum
+    ebreak

@@ -1,0 +1,18 @@
+# strlen: length of a NUL-terminated string preloaded at 0x1000
+# (expected a0 = 19).
+#
+# A pointer-chase of byte loads feeding a conditional exit — the
+# load-to-branch dependence pattern.
+.asciz 0x1000, "macro-op scheduling"
+
+_start:
+    li   t0, 0x1000
+    li   a0, 0
+loop:
+    add  t1, t0, a0
+    lbu  t2, 0(t1)
+    beqz t2, done
+    addi a0, a0, 1
+    j    loop
+done:
+    ebreak

@@ -1,0 +1,13 @@
+# sum_loop: sum the integers 1..=100 into a0 (expected 5050).
+#
+# The loop body is a tight dependent ALU chain — the MOP-friendliest shape
+# there is, and the program whose CPI stack tells the paper's sched_loop
+# story (base < 2cycle, mop-wor recovers most of the gap).
+_start:
+    li   t0, 100        # n
+    li   a0, 0          # sum
+loop:
+    add  a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    ebreak

@@ -1,0 +1,85 @@
+//! Golden-program regression pins for the RV32 suite: committed-uop
+//! counts, the functional oracle's final-state digest, and the mop-wor
+//! fusion-rate snapshot per program. Any drift in the assembler, the
+//! lowering, the interpreter, or macro-op formation on real programs
+//! shows up here as an exact-value diff.
+//!
+//! If a change legitimately moves one of these numbers (e.g. a lowering
+//! improvement), re-pin it and say why in the commit message.
+
+use mopsched::rv::{self, suite};
+
+const MAX_STEPS: usize = 10_000_000;
+
+/// `(program, committed uops, final-state digest, mop-wor fusion rate)`.
+const GOLDEN: &[(&str, u64, u64, f64)] = &[
+    ("sum_loop", 302, 0xb2f5_8091_fcf8_9540, 0.668_874),
+    ("fib_rec", 4413, 0x6439_54ed_2447_3e31, 0.222_524),
+    ("memcpy", 3847, 0x5e5c_571d_ed57_ac8a, 0.525_084),
+    ("strlen", 100, 0xb58a_8a81_f592_0edd, 0.280_000),
+    ("gcd", 1827, 0x708f_66e7_6528_5d67, 0.446_634),
+    ("collatz", 5796, 0xf7ed_3911_0000_62dd, 0.612_146),
+    ("bubble_sort", 9196, 0x4740_0848_33f4_09ae, 0.238_256),
+];
+
+#[test]
+fn golden_table_covers_the_whole_suite() {
+    assert_eq!(GOLDEN.len(), suite::PROGRAMS.len());
+    for p in &suite::PROGRAMS {
+        assert!(
+            GOLDEN.iter().any(|&(name, ..)| name == p.name),
+            "suite program `{}` has no golden row",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn oracle_final_state_digests_are_pinned() {
+    for &(name, _, digest, _) in GOLDEN {
+        let prog = suite::by_name(name).expect("suite program").assemble();
+        let mut interp = rv::RvInterp::new(&prog);
+        interp.run_collect(MAX_STEPS);
+        assert!(interp.stopped_cleanly(), "{name}: oracle did not halt");
+        assert_eq!(
+            interp.state().digest(),
+            digest,
+            "{name}: final-state digest drifted (got 0x{:016x})",
+            interp.state().digest()
+        );
+    }
+}
+
+#[test]
+fn committed_uop_counts_and_fusion_rates_are_pinned() {
+    for &(name, uops, _, fusion) in GOLDEN {
+        let prog = suite::by_name(name).expect("suite program").assemble();
+        let cfg = rv::config_for("mop-wor").expect("known scheduler");
+        let report = rv::run_differential(&prog, "mop-wor", cfg, MAX_STEPS)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            report.uops_committed, uops,
+            "{name}: committed-uop count drifted"
+        );
+        assert!(
+            (report.fusion_rate - fusion).abs() < 5e-4,
+            "{name}: mop-wor fusion rate drifted: got {:.6}, pinned {fusion:.6}",
+            report.fusion_rate
+        );
+    }
+}
+
+/// The committed count is scheduler-invariant: timing must never change
+/// *what* commits, only *when*.
+#[test]
+fn committed_counts_are_identical_across_schedulers() {
+    for &(name, uops, ..) in GOLDEN {
+        let prog = suite::by_name(name).expect("suite program").assemble();
+        for sched in rv::SCHED_KINDS {
+            let cfg = rv::config_for(sched).expect("known scheduler");
+            let report = rv::run_differential(&prog, sched, cfg, MAX_STEPS)
+                .unwrap_or_else(|e| panic!("{name}/{sched}: {e}"));
+            assert_eq!(report.uops_committed, uops, "{name}/{sched}");
+        }
+    }
+}
