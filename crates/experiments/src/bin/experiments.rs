@@ -3,7 +3,8 @@
 //! ```text
 //! experiments <table1|table2|fig6|fig7|fig13|fig14|fig15|fig16|ablations|extensions|all>
 //!             [--insts N] [--jobs N]
-//! experiments perf [--insts N] [--jobs N] [--out PATH]
+//! experiments perf [--insts N] [--jobs N] [--out PATH] [--ledger]
+//!                  [--history PATH]
 //! ```
 //!
 //! `--jobs N` fans the figure's (benchmark, config) simulations across N
@@ -11,20 +12,31 @@
 //! for any N. `perf` times the full sweep, writes `BENCH_sim.json`
 //! (per-figure wall time, IPC and scheduler kinds plus an observability
 //! overhead probe with its CPI stack) and appends one line to
-//! `results/bench_history.jsonl` for `scripts/perf_gate.sh`.
+//! `results/bench_history.jsonl` (override with `--history PATH`) for
+//! `scripts/perf_gate.sh`.
+//!
+//! `--ledger` archives every figure sweep in the content-addressed run
+//! ledger (`results/ledger/`, or `$MOS_LEDGER_DIR`) and makes re-sweeps
+//! incremental: a figure whose key (name, budget, git revision) is
+//! already archived is served from the ledger, marked `"cached": true`
+//! in `BENCH_sim.json`, with byte-identical sim-side fields. A sweep
+//! with any cached figure skips the history append — it is not a real
+//! throughput measurement.
 
 use std::env;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use mos_experiments::{
-    ablations, extensions, fig13, fig14, fig15, fig16, fig6, fig7, runner, rvsuite, tables,
+    ablations, extensions, fig13, fig14, fig15, fig16, fig6, fig7, ledgered, runner, rvsuite,
+    tables,
 };
+use mos_ledger::Ledger;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments <table1|table2|fig6|fig7|fig13|fig14|fig15|fig16|ablations|extensions|rv|all|perf> \
-         [--insts N] [--jobs N] [--out PATH]"
+         [--insts N] [--jobs N] [--out PATH] [--ledger] [--history PATH]"
     );
     ExitCode::FAILURE
 }
@@ -59,7 +71,12 @@ fn main() -> ExitCode {
             return usage();
         };
         let out = out.unwrap_or_else(|| "BENCH_sim.json".to_owned());
-        return perf(insts, jobs, &out);
+        let Ok(history) = flag::<String>(&args, "--history") else {
+            return usage();
+        };
+        let history = history.unwrap_or_else(|| "results/bench_history.jsonl".to_owned());
+        let use_ledger = args.iter().any(|a| a == "--ledger");
+        return perf(insts, jobs, &out, use_ledger, &history);
     }
 
     let run_one = |what: &str| -> Option<String> {
@@ -98,19 +115,14 @@ fn main() -> ExitCode {
 }
 
 /// Time every simulation sweep and write the perf trajectory file.
-fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
-    struct Entry {
-        name: &'static str,
-        wall_seconds: f64,
-        sim_cycles: u64,
-        sim_commits: u64,
-        sched_kinds: Vec<&'static str>,
-    }
-
-    impl Entry {
-        fn ipc(&self) -> f64 {
-            self.sim_commits as f64 / (self.sim_cycles.max(1)) as f64
-        }
+fn perf(insts: u64, jobs: usize, out_path: &str, use_ledger: bool, history_path: &str) -> ExitCode {
+    let ledger = use_ledger.then(|| Ledger::open(Ledger::default_root()));
+    let git_rev = mos_ledger::git_short_rev();
+    if let Some(store) = &ledger {
+        eprintln!(
+            "perf: ledger at {} (git rev {git_rev})",
+            store.root().display()
+        );
     }
 
     type Sweep = (&'static str, Box<dyn Fn()>);
@@ -127,31 +139,25 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
         ("rv", Box::new(move || drop(rvsuite::sweep(jobs)))),
     ];
 
-    let mut entries = Vec::new();
+    let mut entries: Vec<ledgered::FigureOutcome> = Vec::new();
     runner::take_simulated_cycles(); // reset the counters
     runner::take_simulated_commits();
     runner::take_sched_kinds();
     let total_start = Instant::now();
     for (name, sweep) in &sweeps {
-        let start = Instant::now();
-        sweep();
-        let wall_seconds = start.elapsed().as_secs_f64();
-        let sim_cycles = runner::take_simulated_cycles();
-        let sim_commits = runner::take_simulated_commits();
-        let sched_kinds = runner::take_sched_kinds();
+        let e = ledgered::run_figure(name, insts, ledger.as_ref(), &git_rev, sweep);
         eprintln!(
-            "perf: {name:10} {wall_seconds:8.3}s  {sim_cycles:>12} cycles  {sim_commits:>12} committed  {:>12.0} cycles/s",
-            sim_cycles as f64 / wall_seconds.max(1e-9)
+            "perf: {name:10} {:8.3}s  {:>12} cycles  {:>12} committed  {:>12.0} cycles/s{}",
+            e.wall_seconds,
+            e.sim_cycles,
+            e.sim_commits,
+            e.sim_cycles as f64 / e.wall_seconds.max(1e-9),
+            if e.cached { "  (cached)" } else { "" }
         );
-        entries.push(Entry {
-            name,
-            wall_seconds,
-            sim_cycles,
-            sim_commits,
-            sched_kinds,
-        });
+        entries.push(e);
     }
     let total_wall = total_start.elapsed().as_secs_f64();
+    let any_cached = entries.iter().any(|e| e.cached);
     let total_cycles: u64 = entries.iter().map(|e| e.sim_cycles).sum();
     let total_commits: u64 = entries.iter().map(|e| e.sim_commits).sum();
 
@@ -208,6 +214,9 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     runner::take_simulated_cycles();
     runner::take_simulated_commits();
     runner::take_sched_kinds();
+    if let Some(store) = &ledger {
+        ledgered::save_rv_probe(store, &git_rev, &rv_probe);
+    }
     for r in &rv_probe {
         eprintln!(
             "perf: rv probe {:12} pairability {:5.1}%  sched_loop 2cycle {:5.1}% / mop-wor {:5.1}%",
@@ -231,21 +240,29 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
             .collect::<Vec<_>>()
             .join(", ");
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"sim_cycles\": {}, \"sim_commits\": {}, \"ipc\": {:.4}, \"cycles_per_sec\": {:.1}, \"sched_kinds\": [{kinds}]}}{}\n",
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"sim_cycles\": {}, \"sim_commits\": {}, \"ipc\": {:.4}, \"cycles_per_sec\": {:.1}, \"cached\": {}, \"sched_kinds\": [{kinds}]}}{}\n",
             e.name,
             e.wall_seconds,
             e.sim_cycles,
             e.sim_commits,
             e.ipc(),
             e.sim_cycles as f64 / e.wall_seconds.max(1e-9),
+            e.cached,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }
     json.push_str("  ],\n");
+    // The observability probe is a single serial simulation, so its
+    // plain run doubles as the jobs-count-independent throughput figure
+    // the perf gate prefers (aggregate throughput moves with --jobs).
+    let jobs1_cps = plain.cycles as f64 / plain_s.max(1e-9);
     json.push_str("  \"observability\": {\n");
     json.push_str(&format!("    \"probe_sim_cycles\": {},\n", plain.cycles));
     json.push_str(&format!(
         "    \"plain_wall_seconds\": {plain_s:.6},\n    \"metrics_wall_seconds\": {metrics_s:.6},\n    \"tracing_wall_seconds\": {tracing_s:.6},\n    \"cpistack_wall_seconds\": {accounted_s:.6},\n"
+    ));
+    json.push_str(&format!(
+        "    \"probe_cycles_per_sec_jobs1\": {jobs1_cps:.1},\n"
     ));
     json.push_str(&format!(
         "    \"probe_cpi_stack\": {}\n",
@@ -279,9 +296,24 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     }
     eprintln!("perf: wrote {out_path} ({total_wall:.3}s total, {jobs} jobs)");
 
+    if any_cached {
+        // A sweep with ledger hits measured only the misses; appending
+        // it would poison the throughput trend the perf gate reads.
+        eprintln!("perf: skipping history append (some figures were served from the ledger)");
+        return ExitCode::SUCCESS;
+    }
     let total_cps = total_cycles as f64 / total_wall.max(1e-9);
-    match append_history(insts, jobs, total_cycles, total_wall, total_cps, &probe_stack) {
-        Ok(path) => eprintln!("perf: appended history entry to {path}"),
+    match append_history(
+        history_path,
+        insts,
+        jobs,
+        total_cycles,
+        total_wall,
+        total_cps,
+        jobs1_cps,
+        &probe_stack,
+    ) {
+        Ok(()) => eprintln!("perf: appended history entry to {history_path}"),
         Err(e) => {
             // History is an append-only convenience log; a read-only
             // checkout must not fail the sweep.
@@ -291,27 +323,26 @@ fn perf(insts: u64, jobs: usize, out_path: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Append one single-line JSON entry to `results/bench_history.jsonl`:
-/// the perf sweep's throughput plus the top stall causes of the probe's
-/// CPI stack, keyed by git revision and wall-clock time. The perf gate
-/// (`scripts/perf_gate.sh`) compares the last two entries.
+/// Append one single-line JSON entry to the bench history: the perf
+/// sweep's aggregate throughput, the jobs=1 normalized probe throughput
+/// and the top stall causes of the probe's CPI stack, keyed by git
+/// revision and wall-clock time. The perf gate (`scripts/perf_gate.sh`)
+/// compares the newest entry against the median of the baselines before
+/// it.
+#[allow(clippy::too_many_arguments)]
 fn append_history(
+    path: &str,
     insts: u64,
     jobs: usize,
     total_cycles: u64,
     total_wall: f64,
     total_cps: f64,
+    jobs1_cps: f64,
     probe: &mos_sim::CpiStack,
-) -> Result<String, String> {
+) -> Result<(), String> {
     use std::io::Write as _;
 
-    let git_rev = std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_owned())
-        .unwrap_or_else(|| "unknown".to_owned());
+    let git_rev = mos_ledger::git_short_rev();
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -335,20 +366,21 @@ fn append_history(
         "{{\"git_rev\": \"{git_rev}\", \"unix_time\": {unix_time}, \"insts\": {insts}, \
          \"jobs\": {jobs}, \"total_sim_cycles\": {total_cycles}, \
          \"total_wall_seconds\": {total_wall:.6}, \"total_cycles_per_sec\": {total_cps:.1}, \
+         \"probe_cycles_per_sec_jobs1\": {jobs1_cps:.1}, \
          \"probe_bench\": \"{}\", \"probe_ipc\": {:.4}, \"top_causes\": [{top}]}}\n",
         probe.bench,
         probe.ipc(),
     );
 
-    let dir = "results";
-    let path = format!("{dir}/bench_history.jsonl");
-    std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {dir}: {e}"))?;
+    if let Some(dir) = std::path::Path::new(path).parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+    }
     let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
-        .open(&path)
+        .open(path)
         .map_err(|e| format!("open {path}: {e}"))?;
     file.write_all(line.as_bytes())
         .map_err(|e| format!("write {path}: {e}"))?;
-    Ok(path)
+    Ok(())
 }

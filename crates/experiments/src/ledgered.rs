@@ -1,0 +1,283 @@
+//! Ledger-backed figure sweeps: the incremental path behind
+//! `experiments perf --ledger`.
+//!
+//! Every figure sweep gets a content-addressed key over (figure name,
+//! instruction budget, git revision, ledger schema). The synthetic
+//! programs and machine configurations a figure runs are generated from
+//! in-repo constants, so the git revision covers them: same revision +
+//! same budget ⇒ byte-identical sim-side results (that is the repo's
+//! jobs-determinism contract). [`run_figure`] therefore serves a key
+//! already in the ledger straight from the archive — marked
+//! `cached: true` in the index, the record file untouched — and only
+//! simulates unseen keys, making re-sweeps incremental.
+
+use std::time::Instant;
+
+use mos_ledger::{run_key, Ledger, RunIdent, RunRecord, SCHEMA_VERSION};
+
+use crate::runner;
+use crate::rvsuite::RvProbe;
+
+/// Outcome of one (possibly cached) figure sweep.
+pub struct FigureOutcome {
+    /// Figure name (`table2`, `fig13`, …, `rv`).
+    pub name: &'static str,
+    /// Wall time of this invocation (near zero on a cache hit).
+    pub wall_seconds: f64,
+    /// Simulated cycles across the sweep's runs.
+    pub sim_cycles: u64,
+    /// Committed uops across the sweep's runs.
+    pub sim_commits: u64,
+    /// Scheduler kinds the sweep exercised.
+    pub sched_kinds: Vec<String>,
+    /// Whether the result came from the ledger instead of simulation.
+    pub cached: bool,
+    /// The sweep's run key, when a ledger was in use.
+    pub key: Option<String>,
+}
+
+impl FigureOutcome {
+    /// Committed uops per simulated cycle.
+    pub fn ipc(&self) -> f64 {
+        self.sim_commits as f64 / (self.sim_cycles.max(1)) as f64
+    }
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+fn figure_key(name: &str, insts: u64, git_rev: &str) -> String {
+    run_key(
+        &RunIdent {
+            kind: "figure",
+            bench: name,
+            source: "sweep",
+            sched: "all",
+            insts,
+            seed: 0,
+            program_sha: "-",
+            git_rev,
+        },
+        None,
+    )
+}
+
+/// Run one figure sweep through the ledger.
+///
+/// With no ledger this times `run` and drains the global sim counters —
+/// exactly the old `perf` protocol. With a ledger, a key already
+/// archived is served from the record (`cached: true`); a fresh run is
+/// archived under its key. The caller must have drained the counters
+/// before the first call; this function leaves them drained.
+pub fn run_figure(
+    name: &'static str,
+    insts: u64,
+    ledger: Option<&Ledger>,
+    git_rev: &str,
+    run: impl FnOnce(),
+) -> FigureOutcome {
+    let key = ledger.map(|_| figure_key(name, insts, git_rev));
+    if let (Some(store), Some(key)) = (ledger, &key) {
+        if store.contains(key) {
+            let start = Instant::now();
+            match store.load(key) {
+                Ok(mut record) => {
+                    record.cached = true;
+                    record.unix_time = now_unix();
+                    if let Err(e) = store.append_index(&record) {
+                        eprintln!("perf: ledger index append failed: {e}");
+                    }
+                    return FigureOutcome {
+                        name,
+                        wall_seconds: start.elapsed().as_secs_f64(),
+                        sim_cycles: record.total("cycles").unwrap_or(0.0) as u64,
+                        sim_commits: record.total("committed").unwrap_or(0.0) as u64,
+                        sched_kinds: record.sched_kinds,
+                        cached: true,
+                        key: Some(key.clone()),
+                    };
+                }
+                // A corrupt record falls through to a fresh simulation,
+                // which re-archives it.
+                Err(e) => eprintln!("perf: ignoring unreadable record for {name}: {e}"),
+            }
+        }
+    }
+
+    let start = Instant::now();
+    run();
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let sim_cycles = runner::take_simulated_cycles();
+    let sim_commits = runner::take_simulated_commits();
+    let sched_kinds: Vec<String> = runner::take_sched_kinds()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+
+    if let (Some(store), Some(key)) = (ledger, &key) {
+        let record = RunRecord {
+            schema: SCHEMA_VERSION,
+            key: key.clone(),
+            kind: "figure".into(),
+            bench: name.into(),
+            source: "sweep".into(),
+            sched: "all".into(),
+            insts,
+            seed: 0,
+            git_rev: git_rev.into(),
+            unix_time: now_unix(),
+            host_cycles_per_sec: sim_cycles as f64 / wall_seconds.max(1e-9),
+            cached: false,
+            sched_kinds: sched_kinds.clone(),
+            totals: vec![
+                ("cycles".into(), sim_cycles as f64),
+                ("committed".into(), sim_commits as f64),
+                (
+                    "ipc".into(),
+                    sim_commits as f64 / (sim_cycles.max(1)) as f64,
+                ),
+            ],
+            cpi: None,
+            report: None,
+        };
+        if let Err(e) = store.save(&record) {
+            eprintln!("perf: ledger save failed for {name}: {e}");
+        }
+    }
+
+    FigureOutcome {
+        name,
+        wall_seconds,
+        sim_cycles,
+        sim_commits,
+        sched_kinds,
+        cached: false,
+        key,
+    }
+}
+
+/// Archive the RV32 probe summary: per-program pairability and
+/// sched_loop shares, as flat totals (`pairability.<prog>`,
+/// `sched_loop_2cycle.<prog>`, `sched_loop_mop.<prog>`). The dashboard's
+/// trend section reads these back across revisions.
+pub fn save_rv_probe(store: &Ledger, git_rev: &str, probes: &[RvProbe]) {
+    let key = run_key(
+        &RunIdent {
+            kind: "rv_probe",
+            bench: "rv-suite",
+            source: "rv",
+            sched: "all",
+            insts: 0,
+            seed: 0,
+            program_sha: "-",
+            git_rev,
+        },
+        None,
+    );
+    let mut totals = Vec::new();
+    for p in probes {
+        totals.push((format!("pairability.{}", p.program), p.pairability));
+        totals.push((format!("sched_loop_2cycle.{}", p.program), p.sched_loop_2cycle));
+        totals.push((format!("sched_loop_mop.{}", p.program), p.sched_loop_mop));
+    }
+    let record = RunRecord {
+        schema: SCHEMA_VERSION,
+        key,
+        kind: "rv_probe".into(),
+        bench: "rv-suite".into(),
+        source: "rv".into(),
+        sched: "all".into(),
+        insts: 0,
+        seed: 0,
+        git_rev: git_rev.into(),
+        unix_time: now_unix(),
+        host_cycles_per_sec: 0.0,
+        cached: false,
+        sched_kinds: Vec::new(),
+        totals,
+        cpi: None,
+        report: None,
+    };
+    if let Err(e) = store.save(&record) {
+        eprintln!("perf: ledger save failed for rv probe: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mos_ledgered_test_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn second_sweep_is_served_from_the_ledger() {
+        let store = Ledger::open(temp_root("figure"));
+        // Drain whatever other tests in this process left behind.
+        runner::take_simulated_cycles();
+        runner::take_simulated_commits();
+        runner::take_sched_kinds();
+
+        let mut runs = 0;
+        let fresh = run_figure("table2", 500, Some(&store), "abc1234", || {
+            runs += 1;
+            let cfg = mos_sim::MachineConfig::base_32();
+            let job = runner::Job::new("gzip", cfg, 500);
+            let stats = job.run();
+            runner::tally(&stats, &job.cfg);
+        });
+        assert_eq!(runs, 1);
+        assert!(!fresh.cached);
+        assert!(fresh.sim_cycles > 0);
+
+        let hit = run_figure("table2", 500, Some(&store), "abc1234", || {
+            runs += 1;
+        });
+        assert_eq!(runs, 1, "cache hit must not re-run the sweep");
+        assert!(hit.cached);
+        assert_eq!(hit.sim_cycles, fresh.sim_cycles);
+        assert_eq!(hit.sim_commits, fresh.sim_commits);
+        assert_eq!(hit.sched_kinds, fresh.sched_kinds);
+        assert_eq!(hit.key, fresh.key);
+
+        // A different budget or revision misses.
+        assert_ne!(
+            figure_key("table2", 500, "abc1234"),
+            figure_key("table2", 501, "abc1234")
+        );
+        assert_ne!(
+            figure_key("table2", 500, "abc1234"),
+            figure_key("table2", 500, "def5678")
+        );
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn rv_probe_records_flatten_per_program() {
+        let store = Ledger::open(temp_root("rvprobe"));
+        let probes = vec![RvProbe {
+            program: "rv_gcd",
+            pairability: 0.4,
+            sched_loop_2cycle: 0.3,
+            sched_loop_mop: 0.1,
+        }];
+        save_rv_probe(&store, "abc1234", &probes);
+        let key = store.resolve("latest").unwrap();
+        let rec = store.load(&key).unwrap();
+        assert_eq!(rec.kind, "rv_probe");
+        assert_eq!(rec.total("sched_loop_mop.rv_gcd"), Some(0.1));
+        assert_eq!(rec.total("pairability.rv_gcd"), Some(0.4));
+        let _ = std::fs::remove_dir_all(store.root());
+    }
+}

@@ -42,6 +42,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig6;
 pub mod fig7;
+pub mod ledgered;
 pub mod runner;
 pub mod rvsuite;
 pub mod tables;

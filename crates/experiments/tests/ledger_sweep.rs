@@ -1,0 +1,58 @@
+//! The incremental-sweep determinism contract: a ledger cache hit is
+//! byte-identical to the fresh run it replaces, regardless of the job
+//! count the re-sweep would have used.
+//!
+//! One #[test] on purpose: the fresh/cached comparison reads the global
+//! sim counters, and an integration test binary gives it a process of
+//! its own (library unit tests tally into the same counters).
+
+use mos_experiments::{fig14, ledgered, runner};
+use mos_ledger::Ledger;
+
+#[test]
+fn cached_sweep_is_byte_identical_to_the_fresh_run() {
+    let root = std::env::temp_dir().join(format!("mos_sweep_test_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Ledger::open(root);
+
+    // Fresh sweep, serial. Counters start drained in this process, but
+    // drain them anyway to mirror the perf driver's protocol.
+    runner::take_simulated_cycles();
+    runner::take_simulated_commits();
+    runner::take_sched_kinds();
+    let fresh = ledgered::run_figure("fig14", 2000, Some(&store), "testrev", || {
+        fig14::run_with(2000, 1);
+    });
+    assert!(!fresh.cached);
+    assert!(fresh.sim_cycles > 0);
+    let key = fresh.key.clone().expect("ledgered run has a key");
+    let record_before = std::fs::read(store.record_path(&key)).unwrap();
+
+    // Re-sweep with a parallel job count: must be served from the
+    // archive without running the closure at all.
+    let mut reran = false;
+    let hit = ledgered::run_figure("fig14", 2000, Some(&store), "testrev", || {
+        reran = true;
+        fig14::run_with(2000, 4);
+    });
+    assert!(!reran, "cache hit must not simulate");
+    assert!(hit.cached);
+    assert_eq!(hit.key.as_deref(), Some(key.as_str()));
+
+    // Sim-side fields identical to the fresh run...
+    assert_eq!(hit.sim_cycles, fresh.sim_cycles);
+    assert_eq!(hit.sim_commits, fresh.sim_commits);
+    assert_eq!(hit.sched_kinds, fresh.sched_kinds);
+
+    // ...and the archived record file is untouched, byte for byte.
+    let record_after = std::fs::read(store.record_path(&key)).unwrap();
+    assert_eq!(record_before, record_after);
+
+    // The hit left its provenance trail: a second index line, cached.
+    let index = store.index();
+    assert_eq!(index.len(), 2);
+    assert!(!index[0].cached);
+    assert!(index[1].cached);
+
+    let _ = std::fs::remove_dir_all(store.root());
+}

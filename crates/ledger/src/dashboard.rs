@@ -1,0 +1,285 @@
+//! The regression dashboard: one self-contained document tying the
+//! bench history and the ledger together.
+//!
+//! [`render`] takes the raw text of `results/bench_history.jsonl` plus
+//! an open [`Ledger`] and produces Markdown with three sections: the
+//! host-throughput trend across archived sweeps (aggregate and, when
+//! recorded, the jobs=1 normalized figure), the latest per-figure
+//! sim-side results (IPC and cache provenance), and the RV32
+//! `sched_loop` share trend across code revisions. [`to_html`] wraps the
+//! same content into a dependency-free HTML page for sharing.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::{self, fmt_num, Value};
+use crate::key::short;
+use crate::record::RunRecord;
+use crate::store::Ledger;
+
+fn num(v: &Value, name: &str) -> Option<f64> {
+    v.get(name).and_then(Value::as_num)
+}
+
+fn text<'a>(v: &'a Value, name: &str) -> &'a str {
+    v.get(name).and_then(Value::as_str).unwrap_or("?")
+}
+
+/// Render the throughput-trend section from `bench_history.jsonl` text.
+fn throughput_section(history: &str, out: &mut String) {
+    out.push_str("## Host throughput trend\n\n");
+    let entries: Vec<Value> = history
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| json::parse(l).ok())
+        .collect();
+    if entries.is_empty() {
+        out.push_str("No bench history recorded yet — run `experiments perf`.\n\n");
+        return;
+    }
+    out.push_str(
+        "| git_rev | unix_time | insts | jobs | cycles/sec (aggregate) | cycles/sec (jobs=1) | probe ipc |\n",
+    );
+    out.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+    for e in &entries {
+        let jobs1 = num(e, "probe_cycles_per_sec_jobs1")
+            .map_or_else(|| "—".to_string(), |v| fmt_num(v.round()));
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            text(e, "git_rev"),
+            num(e, "unix_time").map_or_else(|| "?".into(), fmt_num),
+            num(e, "insts").map_or_else(|| "?".into(), fmt_num),
+            num(e, "jobs").map_or_else(|| "?".into(), fmt_num),
+            num(e, "total_cycles_per_sec").map_or_else(|| "?".into(), |v| fmt_num(v.round())),
+            jobs1,
+            num(e, "probe_ipc").map_or_else(|| "?".into(), |v| format!("{v:.4}")),
+        );
+    }
+    if let Some((first, last)) = entries.first().zip(entries.last()) {
+        if let Some((a, b)) =
+            num(first, "total_cycles_per_sec").zip(num(last, "total_cycles_per_sec"))
+        {
+            if a > 0.0 {
+                let _ = writeln!(
+                    out,
+                    "\nAggregate throughput over the window: {:+.1}% ({} → {}).",
+                    (b - a) / a * 100.0,
+                    fmt_num(a.round()),
+                    fmt_num(b.round()),
+                );
+            }
+        }
+    }
+    out.push('\n');
+}
+
+/// Render the per-figure section: the latest archived record per figure
+/// name, with IPC and cache provenance.
+fn figures_section(ledger: &Ledger, out: &mut String) {
+    out.push_str("## Figures (latest archived sweep per figure)\n\n");
+    // Last save wins per bench name; the index is already in save order.
+    let mut latest: BTreeMap<String, (u64, bool)> = BTreeMap::new();
+    let mut keys: BTreeMap<String, String> = BTreeMap::new();
+    for e in ledger.index() {
+        if e.kind != "figure" {
+            continue;
+        }
+        latest.insert(e.bench.clone(), (e.unix_time, e.cached));
+        keys.insert(e.bench.clone(), e.key.clone());
+    }
+    if latest.is_empty() {
+        out.push_str("No figure sweeps archived yet — run `experiments perf --ledger`.\n\n");
+        return;
+    }
+    out.push_str("| figure | key | cycles | committed | ipc | git_rev | cached |\n");
+    out.push_str("|---|---|---:|---:|---:|---|---|\n");
+    for (bench, (_, cached)) in &latest {
+        let key = &keys[bench];
+        let Ok(rec) = ledger.load(key) else { continue };
+        let cycles = rec.total("cycles").unwrap_or(0.0);
+        let committed = rec.total("committed").unwrap_or(0.0);
+        let ipc = if cycles > 0.0 { committed / cycles } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "| {bench} | {} | {} | {} | {ipc:.4} | {} | {} |",
+            short(key),
+            fmt_num(cycles),
+            fmt_num(committed),
+            rec.git_rev,
+            if *cached { "yes" } else { "no" },
+        );
+    }
+    out.push('\n');
+}
+
+/// Render the RV32 `sched_loop`-share trend: one row per archived
+/// `rv_probe` record (i.e. per sweep/revision), one column per program.
+fn rv_trend_section(ledger: &Ledger, out: &mut String) {
+    out.push_str("## RV32 sched_loop share trend (macro-op scheduler)\n\n");
+    let probes: Vec<RunRecord> = ledger
+        .index()
+        .iter()
+        .filter(|e| e.kind == "rv_probe" && !e.cached)
+        .filter_map(|e| ledger.load(&e.key).ok())
+        .collect();
+    if probes.is_empty() {
+        out.push_str("No RV probes archived yet — run `experiments perf --ledger`.\n\n");
+        return;
+    }
+    // Program columns: union across probes, in first-seen order.
+    let mut programs: Vec<String> = Vec::new();
+    for rec in &probes {
+        for (name, _) in &rec.totals {
+            if let Some(prog) = name.strip_prefix("sched_loop_mop.") {
+                if !programs.iter().any(|p| p == prog) {
+                    programs.push(prog.to_string());
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "| git_rev | unix_time | {} |", programs.join(" | "));
+    let _ = writeln!(out, "|---|---:|{}", "---:|".repeat(programs.len()));
+    for rec in &probes {
+        let cells: Vec<String> = programs
+            .iter()
+            .map(|p| {
+                rec.total(&format!("sched_loop_mop.{p}"))
+                    .map_or_else(|| "—".to_string(), |v| format!("{:.1}%", v * 100.0))
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} |",
+            rec.git_rev,
+            rec.unix_time,
+            cells.join(" | ")
+        );
+    }
+    out.push('\n');
+}
+
+/// Render the full dashboard as Markdown.
+pub fn render(history: &str, ledger: &Ledger) -> String {
+    let mut out = String::from("# mopsched regression dashboard\n\n");
+    let _ = writeln!(
+        out,
+        "Ledger: `{}` ({} archived save(s)).\n",
+        ledger.root().display(),
+        ledger.index().len()
+    );
+    throughput_section(history, &mut out);
+    figures_section(ledger, &mut out);
+    rv_trend_section(ledger, &mut out);
+    out
+}
+
+/// Wrap dashboard Markdown into a self-contained HTML page (no external
+/// assets; the Markdown is shown preformatted).
+pub fn to_html(markdown: &str) -> String {
+    let mut escaped = String::with_capacity(markdown.len());
+    for c in markdown.chars() {
+        match c {
+            '&' => escaped.push_str("&amp;"),
+            '<' => escaped.push_str("&lt;"),
+            '>' => escaped.push_str("&gt;"),
+            other => escaped.push(other),
+        }
+    }
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>mopsched regression dashboard</title>\n\
+         <style>body{{font-family:ui-monospace,monospace;margin:2rem;background:#fafafa;color:#222}}\
+         pre{{white-space:pre-wrap;line-height:1.45}}</style>\n</head>\n<body>\n<pre>\n{escaped}</pre>\n</body>\n</html>\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::SCHEMA_VERSION;
+
+    fn temp_ledger(tag: &str) -> Ledger {
+        let dir = std::env::temp_dir().join(format!(
+            "mos_ledger_dash_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        Ledger::open(dir)
+    }
+
+    fn record(kind: &str, bench: &str, key_fill: &str, totals: Vec<(String, f64)>) -> RunRecord {
+        RunRecord {
+            schema: SCHEMA_VERSION,
+            key: key_fill.repeat(32),
+            kind: kind.into(),
+            bench: bench.into(),
+            source: "sweep".into(),
+            sched: "all".into(),
+            insts: 1000,
+            seed: 42,
+            git_rev: "abc1234".into(),
+            unix_time: 1_786_000_000,
+            host_cycles_per_sec: 1.0,
+            cached: false,
+            sched_kinds: Vec::new(),
+            totals,
+            cpi: None,
+            report: None,
+        }
+    }
+
+    #[test]
+    fn dashboard_covers_all_three_sections() {
+        let ledger = temp_ledger("all");
+        ledger
+            .save(&record(
+                "figure",
+                "fig14",
+                "aa",
+                vec![("cycles".into(), 1000.0), ("committed".into(), 900.0)],
+            ))
+            .unwrap();
+        ledger
+            .save(&record(
+                "rv_probe",
+                "rv-suite",
+                "bb",
+                vec![
+                    ("sched_loop_mop.rv_memcpy".into(), 0.12),
+                    ("sched_loop_mop.rv_strlen".into(), 0.31),
+                ],
+            ))
+            .unwrap();
+        let history = concat!(
+            r#"{"git_rev": "abc1234", "unix_time": 1786000000, "insts": 60000, "jobs": 4, "total_sim_cycles": 1000, "total_wall_seconds": 2.0, "total_cycles_per_sec": 500.0, "probe_ipc": 0.9}"#,
+            "\n",
+            r#"{"git_rev": "def5678", "unix_time": 1786000100, "insts": 60000, "jobs": 4, "total_sim_cycles": 1000, "total_wall_seconds": 1.0, "total_cycles_per_sec": 1000.0, "probe_cycles_per_sec_jobs1": 800.0, "probe_ipc": 0.9}"#,
+            "\n"
+        );
+        let md = render(history, &ledger);
+        assert!(md.contains("Host throughput trend"));
+        assert!(md.contains("| def5678 |"));
+        assert!(md.contains("+100.0%"));
+        assert!(md.contains("| fig14 |"));
+        assert!(md.contains("0.9000"));
+        assert!(md.contains("rv_memcpy"));
+        assert!(md.contains("12.0%"));
+
+        let html = to_html(&md);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("&lt;") || !md.contains('<'));
+        assert!(html.contains("rv_strlen"));
+        let _ = std::fs::remove_dir_all(ledger.root());
+    }
+
+    #[test]
+    fn empty_inputs_render_placeholders() {
+        let ledger = temp_ledger("empty");
+        let md = render("", &ledger);
+        assert!(md.contains("No bench history recorded yet"));
+        assert!(md.contains("No figure sweeps archived yet"));
+        assert!(md.contains("No RV probes archived yet"));
+        let _ = std::fs::remove_dir_all(ledger.root());
+    }
+}

@@ -1,10 +1,16 @@
-//! A minimal recursive-descent JSON parser for schema checks in tests.
+//! A minimal JSON reader/writer: recursive-descent parser plus a
+//! canonical renderer.
 //!
-//! The workspace emits all JSON by hand (no serde anywhere), so tests
-//! need an independent reader to verify that emitted documents actually
-//! parse and carry the promised structure. This is deliberately small:
+//! The workspace emits all JSON by hand (no serde anywhere), so the
+//! ledger needs an independent reader to load archived [`crate::record::RunRecord`]
+//! documents back, and tests use the same parser for schema checks
+//! (re-exported as `mos_testutil::json`). This is deliberately small:
 //! no escapes beyond `\"`, `\\`, `\/`, `\n`, `\t`, `\r`, `\b`, `\f` and
 //! `\uXXXX` (kept verbatim), numbers as `f64`, objects as ordered pairs.
+//!
+//! [`render`] is the inverse: it prints a [`Value`] compactly with
+//! numbers in their shortest round-trip form (whole numbers without a
+//! fractional part), so `render(parse(render(v)))` is byte-stable.
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,6 +67,73 @@ impl Value {
             _ => None,
         }
     }
+}
+
+/// Format a number the way [`render`] does: whole numbers print without
+/// a fractional part, everything else uses Rust's shortest round-trip
+/// `f64` form.
+pub fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Render a [`Value`] as one compact JSON document (no whitespace).
+/// Strings escape only what [`parse`] unescapes, so the pair round-trips.
+pub fn render(v: &Value) -> String {
+    let mut out = String::new();
+    render_into(v, &mut out);
+    out
+}
+
+fn render_into(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => out.push_str(&fmt_num(*n)),
+        Value::Str(s) => render_string(s, out),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_into(item, out);
+            }
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                render_string(k, out);
+                out.push(':');
+                render_into(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse one JSON document. Returns an error message with a byte offset
@@ -254,5 +327,22 @@ mod tests {
         assert_eq!(parse("4").unwrap().as_u64(), Some(4));
         assert_eq!(parse("4.5").unwrap().as_u64(), None);
         assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn render_round_trips_byte_stably() {
+        let doc = r#"{"a":[1,2.5,-3],"b":{"c":"x\ty","d":null},"e":true,"f":0.9039}"#;
+        let once = render(&parse(doc).unwrap());
+        let twice = render(&parse(&once).unwrap());
+        assert_eq!(once, doc);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fmt_num_shortest_forms() {
+        assert_eq!(fmt_num(12345.0), "12345");
+        assert_eq!(fmt_num(0.9039), "0.9039");
+        assert_eq!(fmt_num(-2.0), "-2");
+        assert_eq!(fmt_num(1.0e16), "10000000000000000");
     }
 }

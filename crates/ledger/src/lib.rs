@@ -1,0 +1,39 @@
+//! `mos-ledger`: a persistent, content-addressed archive of simulation
+//! runs.
+//!
+//! Every simulation the CLI or the experiment driver archives gets a
+//! [`RunKey`] — a SHA-256 over a canonical preimage of everything that
+//! determines its sim-side results (program digest, canonicalized
+//! machine config, scheduler, budget/seed, schema version, git
+//! revision) — and a [`RunRecord`] stored under `results/ledger/`,
+//! sharded by key prefix, with an append-only `index.jsonl` naming each
+//! save. On top of the store sit three consumers:
+//!
+//! * [`diff`](mod@diff) — side-by-side metric deltas between two archived runs,
+//!   with a noise-band verdict separating deterministic sim-side deltas
+//!   (always real) from advisory host-throughput drift;
+//! * [`dashboard`] — a self-contained Markdown/HTML regression
+//!   dashboard over the bench history and the archive;
+//! * the incremental sweep cache in `experiments perf --ledger`, which
+//!   serves unchanged keys straight from the archive (`cached: true`).
+//!
+//! Everything is hand-rolled on `std` only (including [`sha`] and
+//! [`json`]) because the workspace builds without registry access.
+
+#![warn(missing_docs)]
+
+pub mod dashboard;
+pub mod diff;
+pub mod json;
+pub mod key;
+pub mod record;
+pub mod sha;
+pub mod store;
+
+pub use diff::{diff, DiffOutcome, HOST_NOISE_BAND_PCT};
+pub use key::{
+    git_short_rev, program_digest, push_config, run_key, short, Preimage, RunIdent, RunKey,
+    SCHEMA_VERSION,
+};
+pub use record::{CpiSection, RunRecord};
+pub use store::{IndexEntry, Ledger};

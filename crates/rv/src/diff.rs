@@ -15,7 +15,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use mos_isa::InstClass;
-use mos_sim::{MachineConfig, SharedCommitLog, SimStats, Simulator};
+use mos_sim::{CpiStack, MachineConfig, SharedCommitLog, SimStats, Simulator};
 
 use crate::interp::{execute, RvInterp, RvState};
 use crate::inst::RvProgram;
@@ -65,6 +65,9 @@ pub struct DiffReport {
     pub ipc: f64,
     /// Fraction of committed uops that issued as part of a MOP group.
     pub fusion_rate: f64,
+    /// Share of issue slots lost to the scheduling loop (atomicity)
+    /// constraint, from the run's CPI stack.
+    pub sched_loop_share: f64,
     /// Full end-of-run statistics.
     pub stats: SimStats,
 }
@@ -160,7 +163,12 @@ pub fn run_differential(
 
     // 3. Timing pipeline over the same program, commit log attached.
     let trace = RvTraceSource::with_lowered(Arc::clone(&lowered), RvInterp::new(rv));
+    let issue_width = cfg.sched.issue_width as u64;
     let mut sim = Simulator::new(cfg, trace);
+    // Slot accounting is observation-only (never changes simulated
+    // cycles), so turning it on here keeps the differential untouched
+    // while giving every report a sched_loop share.
+    sim.enable_slot_accounting();
     let log = SharedCommitLog::new();
     sim.set_event_sink(Box::new(log.clone()));
     let stats = sim.run(u64::MAX);
@@ -203,6 +211,7 @@ pub fn run_differential(
     }
     compare_states(&replay, oracle.state())?;
 
+    let stack = CpiStack::from_stats(&rv.name, sched, issue_width, &stats);
     Ok(DiffReport {
         sched: sched.to_owned(),
         rv_retired: oracle.retired(),
@@ -210,6 +219,7 @@ pub fn run_differential(
         cycles: stats.cycles,
         ipc: stats.ipc(),
         fusion_rate: stats.grouped_frac(),
+        sched_loop_share: stack.share(mos_core::SlotCause::SchedLoop),
         stats,
     })
 }

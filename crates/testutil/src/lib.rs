@@ -7,7 +7,7 @@
 
 #![warn(missing_docs)]
 
-pub mod json;
+pub use mos_ledger::json;
 
 use mos_isa::TraceSource;
 use mos_sim::timeline::UopTimeline;

@@ -1,26 +1,35 @@
 #!/usr/bin/env bash
 # Perf-history regression gate.
 #
-# Compares the last two entries of results/bench_history.jsonl (appended
-# by `experiments perf`) on total simulated cycles per wall-clock second.
-# Fails when the newest entry is more than THRESHOLD_PCT slower than the
-# previous one; `--warn-only` downgrades the failure to a warning (used
-# by scripts/verify.sh, where machine load makes wall time noisy).
+# Compares the newest entry of results/bench_history.jsonl (appended by
+# `experiments perf`) against the MEDIAN of the last WINDOW baseline
+# entries before it, on simulated cycles per wall-clock second. A median
+# baseline absorbs one-off slow machines in the history that a
+# last-two comparison would gate against. When every compared entry
+# carries the jobs-count-independent "probe_cycles_per_sec_jobs1" field
+# it is preferred over the aggregate (which moves with --jobs);
+# otherwise the gate falls back to "total_cycles_per_sec".
 #
-# Usage: scripts/perf_gate.sh [--warn-only] [--threshold PCT] [--history PATH]
+# Fails when the newest entry is more than THRESHOLD_PCT slower than the
+# baseline median; `--warn-only` downgrades the failure to a warning
+# (used by scripts/verify.sh, where machine load makes wall time noisy).
+#
+# Usage: scripts/perf_gate.sh [--warn-only] [--threshold PCT] [--window N] [--history PATH]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 WARN_ONLY=0
 THRESHOLD_PCT=20
+WINDOW=3
 HISTORY=results/bench_history.jsonl
 
 while [ $# -gt 0 ]; do
   case "$1" in
     --warn-only) WARN_ONLY=1; shift ;;
     --threshold) THRESHOLD_PCT="$2"; shift 2 ;;
+    --window) WINDOW="$2"; shift 2 ;;
     --history) HISTORY="$2"; shift 2 ;;
-    *) echo "usage: $0 [--warn-only] [--threshold PCT] [--history PATH]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--warn-only] [--threshold PCT] [--window N] [--history PATH]" >&2; exit 2 ;;
   esac
 done
 
@@ -35,37 +44,64 @@ if [ "$lines" -lt 2 ]; then
   exit 0
 fi
 
-# Extract "total_cycles_per_sec": N from a one-line JSON history entry.
-cps_of() {
-  printf '%s\n' "$1" | sed -n 's/.*"total_cycles_per_sec": \([0-9.]*\).*/\1/p'
+# How many baselines are actually available (at most WINDOW).
+baselines=$(( lines - 1 < WINDOW ? lines - 1 : WINDOW ))
+
+# Extract a numeric field from a one-line JSON history entry.
+field_of() { # $1=line $2=field
+  printf '%s\n' "$1" | sed -n "s/.*\"$2\": \([0-9.]*\).*/\1/p"
 }
 rev_of() {
   printf '%s\n' "$1" | sed -n 's/.*"git_rev": "\([^"]*\)".*/\1/p'
 }
 
-prev_line=$(tail -n 2 "$HISTORY" | head -n 1)
 last_line=$(tail -n 1 "$HISTORY")
-prev_cps=$(cps_of "$prev_line")
-last_cps=$(cps_of "$last_line")
+compared=$(tail -n $(( baselines + 1 )) "$HISTORY")
 
-if [ -z "$prev_cps" ] || [ -z "$last_cps" ]; then
-  echo "perf_gate: malformed history entries (no total_cycles_per_sec) — skipping"
+# Prefer the jobs=1 normalized figure when every compared entry has it.
+METRIC=probe_cycles_per_sec_jobs1
+while IFS= read -r line; do
+  if [ -z "$(field_of "$line" "$METRIC")" ]; then
+    METRIC=total_cycles_per_sec
+    break
+  fi
+done <<< "$compared"
+
+last_cps=$(field_of "$last_line" "$METRIC")
+if [ -z "$last_cps" ]; then
+  echo "perf_gate: malformed history entries (no $METRIC) — skipping"
   exit 0
 fi
 
-echo "perf_gate: $(rev_of "$prev_line") ${prev_cps} cycles/s -> $(rev_of "$last_line") ${last_cps} cycles/s (threshold -${THRESHOLD_PCT}%)"
+# Median of the baseline entries (everything in the window but the last).
+baseline_cps=$(printf '%s\n' "$compared" | head -n "$baselines" | while IFS= read -r line; do
+    field_of "$line" "$METRIC"
+  done | sort -n | awk '
+    { v[NR] = $1 }
+    END {
+      if (NR == 0) exit
+      if (NR % 2) print v[(NR + 1) / 2]
+      else printf "%.1f", (v[NR / 2] + v[NR / 2 + 1]) / 2
+    }')
 
-regressed=$(awk -v prev="$prev_cps" -v last="$last_cps" -v pct="$THRESHOLD_PCT" \
+if [ -z "$baseline_cps" ]; then
+  echo "perf_gate: malformed history entries (no $METRIC in baselines) — skipping"
+  exit 0
+fi
+
+echo "perf_gate: median of last $baselines baseline(s) ${baseline_cps} cycles/s -> $(rev_of "$last_line") ${last_cps} cycles/s ($METRIC, threshold -${THRESHOLD_PCT}%)"
+
+regressed=$(awk -v prev="$baseline_cps" -v last="$last_cps" -v pct="$THRESHOLD_PCT" \
   'BEGIN { print (prev > 0 && last < prev * (1 - pct / 100)) ? 1 : 0 }')
 
 if [ "$regressed" = 1 ]; then
-  drop=$(awk -v prev="$prev_cps" -v last="$last_cps" \
+  drop=$(awk -v prev="$baseline_cps" -v last="$last_cps" \
     'BEGIN { printf "%.1f", 100 * (1 - last / prev) }')
   if [ "$WARN_ONLY" = 1 ]; then
-    echo "perf_gate: WARNING — simulator throughput dropped ${drop}% (warn-only mode)"
+    echo "perf_gate: WARNING — simulator throughput dropped ${drop}% vs the baseline median (warn-only mode)"
     exit 0
   fi
-  echo "perf_gate: FAIL — simulator throughput dropped ${drop}% (limit ${THRESHOLD_PCT}%)" >&2
+  echo "perf_gate: FAIL — simulator throughput dropped ${drop}% vs the baseline median (limit ${THRESHOLD_PCT}%)" >&2
   exit 1
 fi
 

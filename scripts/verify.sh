@@ -11,7 +11,12 @@
 #      in warn-only mode
 #   7. RV32 frontend smoke per scheduler model (assemble a real program,
 #      run it, trace --check, cpistack), the `mossim rvdiff` differential
-#      oracle over the whole suite, and its base/2cycle/mop CPI stacks
+#      oracle over the whole suite (with its JSON report), and its
+#      base/2cycle/mop CPI stacks
+#   8. run-ledger smoke against a throwaway root: save -> history ->
+#      diff (must be sim-identical) -> dashboard, then an incremental
+#      `experiments perf --ledger` re-sweep asserting at least one
+#      cache hit
 # Optional extras with --full: jobs-determinism check + perf snapshot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -80,10 +85,12 @@ for sched in base 2cycle mop-2src mop-wor sf-squash sf-scoreboard spec-wakeup; d
 done
 
 echo "== rv32 differential oracle (full suite x all schedulers) =="
-./target/release/mossim rvdiff > /tmp/verify_rvdiff.txt
+./target/release/mossim rvdiff --json /tmp/verify_rvdiff.json > /tmp/verify_rvdiff.txt
 grep -q "all committed traces and final states match the functional oracle" \
     /tmp/verify_rvdiff.txt
-echo "  rvdiff: ok"
+grep -q '"failures":0' /tmp/verify_rvdiff.json
+grep -q '"sched_loop_share":' /tmp/verify_rvdiff.json
+echo "  rvdiff: ok (JSON report clean)"
 
 echo "== rv32 differential cpistack (base vs 2cycle vs mop) =="
 ./target/release/mossim cpistack --rv sum_loop --compare base,twocycle,mop \
@@ -94,6 +101,34 @@ echo "  rv differential stacks ok"
 
 echo "== perf-history gate (warn-only) =="
 ./scripts/perf_gate.sh --warn-only
+
+echo "== run ledger smoke (save -> history -> diff -> dashboard) =="
+LEDGER_DIR=$(mktemp -d /tmp/verify_ledger.XXXXXX)
+trap 'rm -rf "$LEDGER_DIR"' EXIT
+./target/release/mossim --bench gzip --sched mop-wor --insts 10000 \
+    --save --ledger-dir "$LEDGER_DIR" > /dev/null
+./target/release/mossim --bench gzip --sched mop-wor --insts 10000 \
+    --save --ledger-dir "$LEDGER_DIR" > /dev/null
+./target/release/mossim history --ledger-dir "$LEDGER_DIR" > /tmp/verify_ledger_history.md
+grep -q "| gzip | mop-wor |" /tmp/verify_ledger_history.md
+./target/release/mossim diff latest-1 latest --ledger-dir "$LEDGER_DIR" \
+    > /tmp/verify_ledger_diff.md
+grep -q "Verdict: sim-identical" /tmp/verify_ledger_diff.md
+./target/release/mossim dashboard --ledger-dir "$LEDGER_DIR" \
+    --html --out /tmp/verify_ledger_dash.html
+grep -q "mopsched regression dashboard" /tmp/verify_ledger_dash.html
+echo "  save/history/diff/dashboard ok (two saves of one config are sim-identical)"
+
+echo "== incremental perf re-sweep (ledger cache) =="
+MOS_LEDGER_DIR="$LEDGER_DIR" ./target/release/experiments perf --insts 2000 --jobs 2 \
+    --ledger --out /tmp/verify_ledger_b1.json --history /tmp/verify_ledger_h.jsonl \
+    2> /tmp/verify_ledger_p1.err > /dev/null
+MOS_LEDGER_DIR="$LEDGER_DIR" ./target/release/experiments perf --insts 2000 --jobs 2 \
+    --ledger --out /tmp/verify_ledger_b2.json --history /tmp/verify_ledger_h.jsonl \
+    2> /tmp/verify_ledger_p2.err > /dev/null
+grep -q '"cached": true' /tmp/verify_ledger_b2.json
+grep -q "skipping history append" /tmp/verify_ledger_p2.err
+echo "  re-sweep served from the ledger (cached: true)"
 
 if [[ "${1:-}" == "--full" ]]; then
     bin=./target/release/experiments

@@ -2,7 +2,7 @@
 //! the full statistics report.
 //!
 //! ```text
-//! mossim [trace|report|pipeview|cpistack|rvdiff] [options]
+//! mossim [trace|report|pipeview|cpistack|rvdiff|history|diff|dashboard] [options]
 //!   --bench NAME        benchmark model (default gzip) or kernel with --kernel
 //!   --kernel NAME       run an assembly kernel instead of a benchmark model
 //!   --rv PROG           run a real RV32 program instead: a suite name
@@ -45,6 +45,32 @@
 //! rvdiff mode (differential functional oracle over RV32 programs):
 //!   --rv PROG           check one program (default: the whole suite)
 //!   --sched KIND        check one scheduler (default: all seven)
+//!   --json FILE         also write a schema-checked JSON report (per
+//!                       program/scheduler: pass/fail, uop counts,
+//!                       fusion rate, sched_loop share)
+//!
+//! run ledger (content-addressed archive under results/ledger/, root
+//! overridable with --ledger-dir PATH or MOS_LEDGER_DIR):
+//!   --save              archive the run (default, report and cpistack
+//!                       modes): key = hash(program, config, scheduler,
+//!                       schema, git rev); record = totals + CPI stack
+//!                       (+ full report JSON in report mode)
+//!
+//! history mode (list archived runs, newest first):
+//!   --bench NAME        only this workload
+//!   --sched KIND        only this scheduler
+//!   --limit N           show at most N rows (default 20)
+//!
+//! diff mode (side-by-side metric deltas between two archived runs):
+//!   mossim diff [A] [B] A/B are `latest`, `latest-N`, or a key prefix
+//!                       (default: latest vs latest-1); sim-side deltas
+//!                       are always real, host throughput is advisory
+//!   --noise PCT         host-throughput noise band (default 20)
+//!
+//! dashboard mode (regression dashboard over history + ledger):
+//!   --history FILE      bench history (default results/bench_history.jsonl)
+//!   --html              emit a self-contained HTML page instead of Markdown
+//!   --out FILE          write to FILE instead of stdout
 //! ```
 
 use std::process::ExitCode;
@@ -52,10 +78,11 @@ use std::time::Instant;
 
 use mopsched::core::WakeupStyle;
 use mopsched::isa::{Program, TraceSource};
+use mopsched::ledger::{self, CpiSection, Ledger, RunIdent, RunRecord};
 use mopsched::sim::cpistack::{self, CpiStack};
 use mopsched::sim::metrics::DEFAULT_INTERVAL;
 use mopsched::sim::report::{HostProfile, RunMeta, RunReport};
-use mopsched::sim::{MachineConfig, OracleMode, SharedRing, Simulator};
+use mopsched::sim::{MachineConfig, OracleMode, SharedRing, SimStats, Simulator};
 use mopsched::{asm, rv, workload};
 
 fn parse() -> Result<Args, String> {
@@ -82,6 +109,18 @@ fn parse() -> Result<Args, String> {
             it.next();
             a.rvdiff = true;
         }
+        Some("history") => {
+            it.next();
+            a.history = true;
+        }
+        Some("diff") => {
+            it.next();
+            a.diff = true;
+        }
+        Some("dashboard") => {
+            it.next();
+            a.dashboard = true;
+        }
         _ => {}
     }
     while let Some(flag) = it.next() {
@@ -90,7 +129,10 @@ fn parse() -> Result<Args, String> {
                 .ok_or_else(|| format!("missing value for {name}"))
         };
         match flag.as_str() {
-            "--bench" => a.bench = val("--bench")?,
+            "--bench" => {
+                a.bench = val("--bench")?;
+                a.bench_explicit = true;
+            }
             "--kernel" => a.kernel = Some(val("--kernel")?),
             "--rv" => a.rv = Some(val("--rv")?),
             "--sched" => {
@@ -119,7 +161,23 @@ fn parse() -> Result<Args, String> {
             }
             "--ideal-branch" => a.ideal_branch = true,
             "--ideal-memory" => a.ideal_memory = true,
-            "--out" if a.trace || a.pipeview => a.out = Some(val("--out")?),
+            "--out" if a.trace || a.pipeview || a.dashboard => a.out = Some(val("--out")?),
+            "--save" if !(a.trace || a.pipeview || a.rvdiff || a.history || a.diff || a.dashboard) => {
+                a.save = true
+            }
+            "--ledger-dir" => a.ledger_dir = Some(val("--ledger-dir")?),
+            "--limit" if a.history => {
+                a.limit = val("--limit")?
+                    .parse()
+                    .map_err(|e| format!("--limit: {e}"))?
+            }
+            "--noise" if a.diff => {
+                a.noise = val("--noise")?
+                    .parse()
+                    .map_err(|e| format!("--noise: {e}"))?
+            }
+            "--history" if a.dashboard => a.history_path = val("--history")?,
+            "--html" if a.dashboard => a.html = true,
             "--last" if a.trace => {
                 a.last = val("--last")?
                     .parse()
@@ -131,7 +189,7 @@ fn parse() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--interval: {e}"))?
             }
-            "--json" if a.report || a.cpistack => a.json = Some(val("--json")?),
+            "--json" if a.report || a.cpistack || a.rvdiff => a.json = Some(val("--json")?),
             "--compare" if a.cpistack => a.compare = Some(val("--compare")?),
             "--uops" if a.pipeview => {
                 a.uops = val("--uops")?
@@ -144,6 +202,9 @@ fn parse() -> Result<Args, String> {
                     .map_err(|e| format!("--timeline: {e}"))?
             }
             "--help" | "-h" => return Err(String::new()),
+            spec if a.diff && !spec.starts_with('-') && a.specs.len() < 2 => {
+                a.specs.push(spec.to_string())
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -152,6 +213,7 @@ fn parse() -> Result<Args, String> {
 
 struct Args {
     bench: String,
+    bench_explicit: bool,
     kernel: Option<String>,
     rv: Option<String>,
     sched: String,
@@ -175,12 +237,23 @@ struct Args {
     interval: u64,
     json: Option<String>,
     uops: usize,
+    save: bool,
+    ledger_dir: Option<String>,
+    history: bool,
+    diff: bool,
+    dashboard: bool,
+    limit: usize,
+    noise: f64,
+    history_path: String,
+    html: bool,
+    specs: Vec<String>,
 }
 
 impl Default for Args {
     fn default() -> Args {
         Args {
             bench: "gzip".into(),
+            bench_explicit: false,
             kernel: None,
             rv: None,
             sched: "mop-wor".into(),
@@ -204,6 +277,16 @@ impl Default for Args {
             interval: DEFAULT_INTERVAL,
             json: None,
             uops: 256,
+            save: false,
+            ledger_dir: None,
+            history: false,
+            diff: false,
+            dashboard: false,
+            limit: 20,
+            noise: mopsched::ledger::HOST_NOISE_BAND_PCT,
+            history_path: "results/bench_history.jsonl".into(),
+            html: false,
+            specs: Vec::new(),
         }
     }
 }
@@ -290,6 +373,142 @@ fn load_rv(spec: &str) -> Result<rv::RvProgram, String> {
     }
 }
 
+/// Open the ledger this invocation addresses: `--ledger-dir`, else
+/// `$MOS_LEDGER_DIR`, else `results/ledger`.
+fn open_ledger(a: &Args) -> Ledger {
+    match &a.ledger_dir {
+        Some(dir) => Ledger::open(dir),
+        None => Ledger::open(Ledger::default_root()),
+    }
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// The workload name and source kind this invocation runs
+/// (`--kernel` and `--rv` override `--bench`).
+fn workload_ident(a: &Args) -> (String, &'static str) {
+    if let Some(k) = &a.kernel {
+        (k.clone(), "kernel")
+    } else if let Some(r) = &a.rv {
+        (r.clone(), "rv")
+    } else {
+        (a.bench.clone(), "bench")
+    }
+}
+
+/// Archive one finished run in the ledger (the `--save` flag). The key
+/// covers program, config, scheduler, budget/seed, schema and git rev;
+/// the record carries the sim-side totals, the CPI stack when slot
+/// accounting was on, host throughput, and (from report mode) the full
+/// report JSON.
+#[allow(clippy::too_many_arguments)]
+fn save_record(
+    a: &Args,
+    sched: &str,
+    cfg: &MachineConfig,
+    program_sha: &str,
+    stats: &SimStats,
+    cpi: Option<&CpiStack>,
+    sim_seconds: f64,
+    report_json: Option<&str>,
+) -> Result<(), String> {
+    let (bench, source) = workload_ident(a);
+    let git_rev = ledger::git_short_rev();
+    let ident = RunIdent {
+        kind: "run",
+        bench: &bench,
+        source,
+        sched,
+        insts: a.insts,
+        seed: a.seed,
+        program_sha,
+        git_rev: &git_rev,
+    };
+    let key = ledger::run_key(&ident, Some(cfg));
+    let record = RunRecord {
+        schema: ledger::SCHEMA_VERSION,
+        key: key.clone(),
+        kind: "run".into(),
+        bench,
+        source: source.into(),
+        sched: sched.into(),
+        insts: a.insts,
+        seed: a.seed,
+        git_rev,
+        unix_time: now_unix(),
+        host_cycles_per_sec: if sim_seconds > 0.0 {
+            stats.cycles as f64 / sim_seconds
+        } else {
+            0.0
+        },
+        cached: false,
+        sched_kinds: Vec::new(),
+        totals: RunRecord::totals_from_stats(stats),
+        cpi: cpi.map(CpiSection::from_stack),
+        report: report_json
+            .map(|t| ledger::json::parse(t).map_err(|e| format!("report JSON: {e}")))
+            .transpose()?,
+    };
+    let store = open_ledger(a);
+    let path = store.save(&record)?;
+    eprintln!("ledger: saved {} -> {}", ledger::short(&key), path.display());
+    Ok(())
+}
+
+/// Run `history` mode: list archived runs, newest first.
+fn run_history(a: &Args) -> Result<(), String> {
+    let store = open_ledger(a);
+    let bench = a.bench_explicit.then_some(a.bench.as_str());
+    let sched = a.sched_explicit.then_some(canonical_sched(&a.sched));
+    print!("{}", store.history_markdown(bench, sched, a.limit));
+    Ok(())
+}
+
+/// Run `diff` mode: side-by-side metric deltas between two archived
+/// runs, with the noise-band verdict.
+fn run_diff(a: &Args) -> Result<(), String> {
+    let store = open_ledger(a);
+    let spec_a = a.specs.first().map_or("latest-1", String::as_str);
+    let spec_b = a.specs.get(1).map_or("latest", String::as_str);
+    // `mossim diff X` means "X against latest", oldest first.
+    let (spec_a, spec_b) = if a.specs.len() == 1 {
+        (a.specs[0].as_str(), "latest")
+    } else {
+        (spec_a, spec_b)
+    };
+    let rec_a = store.load(&store.resolve(spec_a)?)?;
+    let rec_b = store.load(&store.resolve(spec_b)?)?;
+    let outcome = ledger::diff(&rec_a, &rec_b, a.noise);
+    print!("{}", outcome.markdown);
+    Ok(())
+}
+
+/// Run `dashboard` mode: render the regression dashboard over the bench
+/// history and the ledger.
+fn run_dashboard(a: &Args) -> Result<(), String> {
+    let store = open_ledger(a);
+    let history = std::fs::read_to_string(&a.history_path).unwrap_or_default();
+    let markdown = ledger::dashboard::render(&history, &store);
+    let doc = if a.html {
+        ledger::dashboard::to_html(&markdown)
+    } else {
+        markdown
+    };
+    match &a.out {
+        Some(path) => {
+            std::fs::write(path, &doc).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("dashboard: wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+    Ok(())
+}
+
 /// Run `rvdiff` mode: the differential functional oracle over RV32
 /// programs × scheduler kinds. Any divergence is an error.
 fn run_rvdiff(a: &Args) -> Result<(), String> {
@@ -307,30 +526,66 @@ fn run_rvdiff(a: &Args) -> Result<(), String> {
         config_named(a, sched)?;
     }
     println!(
-        "{:<12} {:<14} {:>9} {:>9} {:>8} {:>6} {:>7}",
-        "program", "sched", "rv insts", "uops", "cycles", "ipc", "fusion"
+        "{:<12} {:<14} {:>9} {:>9} {:>8} {:>6} {:>7} {:>9}",
+        "program", "sched", "rv insts", "uops", "cycles", "ipc", "fusion", "schedloop"
     );
     let mut failures = 0;
+    let mut results: Vec<ledger::json::Value> = Vec::new();
     for prog in &programs {
         for sched in &scheds {
+            use ledger::json::Value;
             let cfg = config_named(a, sched)?;
+            let mut fields = vec![
+                ("program".to_string(), Value::Str(prog.name.clone())),
+                ("sched".to_string(), Value::Str(sched.to_string())),
+            ];
             match rv::run_differential(prog, sched, cfg, 10_000_000) {
-                Ok(rep) => println!(
-                    "{:<12} {:<14} {:>9} {:>9} {:>8} {:>6.3} {:>6.1}%",
-                    prog.name,
-                    sched,
-                    rep.rv_retired,
-                    rep.uops_committed,
-                    rep.cycles,
-                    rep.ipc,
-                    rep.fusion_rate * 100.0
-                ),
+                Ok(rep) => {
+                    println!(
+                        "{:<12} {:<14} {:>9} {:>9} {:>8} {:>6.3} {:>6.1}% {:>8.1}%",
+                        prog.name,
+                        sched,
+                        rep.rv_retired,
+                        rep.uops_committed,
+                        rep.cycles,
+                        rep.ipc,
+                        rep.fusion_rate * 100.0,
+                        rep.sched_loop_share * 100.0
+                    );
+                    fields.extend([
+                        ("pass".to_string(), Value::Bool(true)),
+                        ("rv_retired".to_string(), Value::Num(rep.rv_retired as f64)),
+                        ("uops_committed".to_string(), Value::Num(rep.uops_committed as f64)),
+                        ("cycles".to_string(), Value::Num(rep.cycles as f64)),
+                        ("ipc".to_string(), Value::Num(rep.ipc)),
+                        ("fusion_rate".to_string(), Value::Num(rep.fusion_rate)),
+                        ("sched_loop_share".to_string(), Value::Num(rep.sched_loop_share)),
+                    ]);
+                }
                 Err(e) => {
                     eprintln!("FAIL {:<12} {:<14} {e}", prog.name, sched);
                     failures += 1;
+                    fields.extend([
+                        ("pass".to_string(), Value::Bool(false)),
+                        ("error".to_string(), Value::Str(e.to_string())),
+                    ]);
                 }
             }
+            results.push(Value::Obj(fields));
         }
+    }
+    if let Some(path) = &a.json {
+        use ledger::json::Value;
+        let doc = Value::Obj(vec![
+            ("schema".to_string(), Value::Num(ledger::SCHEMA_VERSION as f64)),
+            ("programs".to_string(), Value::Num(programs.len() as f64)),
+            ("schedulers".to_string(), Value::Num(scheds.len() as f64)),
+            ("failures".to_string(), Value::Num(failures as f64)),
+            ("results".to_string(), Value::Arr(results)),
+        ]);
+        std::fs::write(path, ledger::json::render(&doc))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("rvdiff: wrote JSON to {path}");
     }
     if failures > 0 {
         return Err(format!("{failures} differential check(s) failed"));
@@ -346,7 +601,14 @@ fn run_rvdiff(a: &Args) -> Result<(), String> {
 
 /// Run `report` mode: simulate with interval metrics on, print the
 /// Markdown report, optionally also write the JSON document.
-fn run_report<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, build_seconds: f64) -> bool {
+fn run_report<T: TraceSource>(
+    a: &Args,
+    cfg: MachineConfig,
+    trace: T,
+    program_sha: &str,
+    build_seconds: f64,
+) -> bool {
+    let saved_cfg = a.save.then(|| cfg.clone());
     let mut sim = Simulator::new(cfg, trace);
     sim.enable_metrics(a.interval);
     sim.enable_slot_accounting();
@@ -380,6 +642,22 @@ fn run_report<T: TraceSource>(a: &Args, cfg: MachineConfig, trace: T, build_seco
             return false;
         }
         eprintln!("report: wrote JSON to {path}");
+    }
+    if let Some(cfg) = &saved_cfg {
+        let json = report.to_json();
+        if let Err(e) = save_record(
+            a,
+            canonical_sched(&a.sched),
+            cfg,
+            program_sha,
+            &report.stats,
+            report.cpi.as_ref(),
+            sim_seconds,
+            Some(&json),
+        ) {
+            eprintln!("error: {e}");
+            return false;
+        }
     }
     true
 }
@@ -446,28 +724,47 @@ fn run_cpistack(a: &Args) -> Result<(), String> {
     for sched in &scheds {
         let cfg = config_named(a, sched)?;
         let width = cfg.sched.issue_width as u64;
-        let stats = if let Some(kname) = &a.kernel {
+        let saved_cfg = a.save.then(|| cfg.clone());
+        let t = Instant::now();
+        let (stats, program_sha) = if let Some(kname) = &a.kernel {
             let kernel = workload::kernels::by_name(kname)
                 .ok_or_else(|| format!("unknown kernel `{kname}`"))?;
             let image = kernel.image();
+            let sha = a.save.then(|| ledger::program_digest(&image.program));
             let mut sim = Simulator::new(cfg, asm::Interpreter::new(&image));
             sim.enable_slot_accounting();
-            sim.run(a.insts)
+            (sim.run(a.insts), sha)
         } else if let Some(rvspec) = &a.rv {
             let prog = load_rv(rvspec)?;
             let trace = rv::RvTraceSource::new(&prog).map_err(|e| e.to_string())?;
+            let sha = a.save.then(|| ledger::program_digest(trace.program()));
             let mut sim = Simulator::new(cfg, trace);
             sim.enable_slot_accounting();
-            sim.run(a.insts)
+            (sim.run(a.insts), sha)
         } else {
             let spec = workload::spec2000::by_name(&a.bench)
                 .ok_or_else(|| format!("unknown benchmark `{}`", a.bench))?;
-            let mut sim = Simulator::new(cfg, spec.trace(a.seed));
+            let trace = spec.trace(a.seed);
+            let sha = a.save.then(|| ledger::program_digest(trace.program()));
+            let mut sim = Simulator::new(cfg, trace);
             sim.enable_slot_accounting();
-            sim.run(a.insts)
+            (sim.run(a.insts), sha)
         };
+        let sim_seconds = t.elapsed().as_secs_f64();
         let stack = CpiStack::from_stats(&bench_name, sched, width, &stats);
         stack.check_conservation().map_err(|e| format!("{sched}: {e}"))?;
+        if let Some(cfg) = &saved_cfg {
+            save_record(
+                a,
+                sched,
+                cfg,
+                program_sha.as_deref().unwrap_or("-"),
+                &stats,
+                Some(&stack),
+                sim_seconds,
+                None,
+            )?;
+        }
         stacks.push(stack);
     }
     if stacks.len() == 1 {
@@ -503,13 +800,20 @@ fn run<T: TraceSource>(
     program: Program,
     build_seconds: f64,
 ) -> bool {
+    let program_sha = a.save.then(|| ledger::program_digest(&program));
+    let program_sha = program_sha.as_deref().unwrap_or("-");
     if a.report {
-        return run_report(a, cfg, trace, build_seconds);
+        return run_report(a, cfg, trace, program_sha, build_seconds);
     }
     if a.pipeview {
         return run_pipeview(a, cfg, trace, &program);
     }
+    let saved_cfg = a.save.then(|| cfg.clone());
     let mut sim = Simulator::new(cfg, trace);
+    if a.save {
+        // Observation-only; gives the archived record a CPI stack.
+        sim.enable_slot_accounting();
+    }
     if a.timeline > 0 {
         sim.enable_timeline(a.timeline);
     }
@@ -521,8 +825,32 @@ fn run<T: TraceSource>(
     if a.check {
         sim.attach_oracle(OracleMode::Collect);
     }
+    let t = Instant::now();
     let stats = sim.run(a.insts);
+    let sim_seconds = t.elapsed().as_secs_f64();
     print!("{}", stats.report());
+    if let Some(cfg) = &saved_cfg {
+        let sched = canonical_sched(&a.sched);
+        let stack = CpiStack::from_stats(
+            &workload_ident(a).0,
+            sched,
+            cfg.sched.issue_width as u64,
+            &stats,
+        );
+        if let Err(e) = save_record(
+            a,
+            sched,
+            cfg,
+            program_sha,
+            &stats,
+            Some(&stack),
+            sim_seconds,
+            None,
+        ) {
+            eprintln!("error: {e}");
+            return false;
+        }
+    }
     if let Some(t) = sim.timeline() {
         println!("\nfirst {} uops:", t.entries().len());
         print!("{}", t.render(&program));
@@ -582,8 +910,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if a.cpistack || a.rvdiff {
-        let res = if a.cpistack { run_cpistack(&a) } else { run_rvdiff(&a) };
+    if a.cpistack || a.rvdiff || a.history || a.diff || a.dashboard {
+        let res = if a.cpistack {
+            run_cpistack(&a)
+        } else if a.rvdiff {
+            run_rvdiff(&a)
+        } else if a.history {
+            run_history(&a)
+        } else if a.diff {
+            run_diff(&a)
+        } else {
+            run_dashboard(&a)
+        };
         return match res {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {

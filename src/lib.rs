@@ -16,6 +16,8 @@
 //! * [`uarch`] — branch predictors and the cache hierarchy,
 //! * [`core`] — macro-op detection/formation and all scheduler models,
 //! * [`metrics`] — histograms, interval time series and run reports,
+//! * [`ledger`] — the content-addressed run archive: persistent records
+//!   with provenance, cross-run diffing and the regression dashboard,
 //! * [`sim`] — the 13-stage out-of-order pipeline simulator,
 //! * [`experiments`] — the per-table/figure reproduction harness.
 //!
@@ -36,6 +38,7 @@ pub use mos_asm as asm;
 pub use mos_core as core;
 pub use mos_experiments as experiments;
 pub use mos_isa as isa;
+pub use mos_ledger as ledger;
 pub use mos_metrics as metrics;
 pub use mos_rv as rv;
 pub use mos_sim as sim;
